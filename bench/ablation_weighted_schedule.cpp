@@ -1,0 +1,122 @@
+// Ablation: volume-weighted greedy scheduling (§VIII future work (i):
+// "jointly optimizing for cluster size and traffic volume, giving higher
+// utility to reducing the size of clusters inferred to send more spoofed
+// traffic").
+//
+// A Pareto-placed spoofer population emits traffic; we compare the plain
+// greedy schedule of Figure 8 (minimise mean cluster size) against the
+// weighted greedy schedule (minimise the volume-weighted expected cluster
+// size) on two metrics: the weighted objective over time, and how small
+// the heaviest spoofers' clusters get per configuration spent.
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cluster.hpp"
+#include "core/scheduler.hpp"
+#include "traffic/placement.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using spooftrack::measure::CatchmentMatrix;
+
+/// Weighted objective of a deployment order, step by step.
+std::vector<double> weighted_trajectory(
+    const CatchmentMatrix& matrix, const std::vector<std::size_t>& order,
+    const std::vector<double>& volume, std::size_t steps) {
+  spooftrack::core::ClusterTracker tracker(matrix[0].size());
+  double total = 0.0;
+  for (double v : volume) total += v;
+  std::vector<double> out;
+  for (std::size_t k = 0; k < steps && k < order.size(); ++k) {
+    tracker.refine(matrix[order[k]]);
+    const auto sizes = tracker.current().sizes();
+    double objective = 0.0;
+    for (std::size_t s = 0; s < volume.size(); ++s) {
+      objective +=
+          volume[s] * sizes[tracker.current().cluster_of[s]] / total;
+    }
+    out.push_back(objective);
+  }
+  return out;
+}
+
+/// Mean cluster size of the `top` heaviest sources after `k` steps.
+double heavy_cluster_size(const CatchmentMatrix& matrix,
+                          const std::vector<std::size_t>& order,
+                          const std::vector<double>& volume, std::size_t top,
+                          std::size_t k) {
+  std::vector<std::size_t> heavy(volume.size());
+  for (std::size_t i = 0; i < heavy.size(); ++i) heavy[i] = i;
+  std::partial_sort(heavy.begin(), heavy.begin() + static_cast<long>(top),
+                    heavy.end(), [&](std::size_t a, std::size_t b) {
+                      return volume[a] > volume[b];
+                    });
+  heavy.resize(top);
+
+  spooftrack::core::ClusterTracker tracker(matrix[0].size());
+  for (std::size_t step = 0; step < k && step < order.size(); ++step) {
+    tracker.refine(matrix[order[step]]);
+  }
+  const auto sizes = tracker.current().sizes();
+  double total = 0.0;
+  for (std::size_t s : heavy) {
+    total += sizes[tracker.current().cluster_of[s]];
+  }
+  return total / static_cast<double>(top);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dep = bench::run_standard(options);
+
+  util::Rng rng{options.seed ^ 0x3E1};
+  const auto placement = traffic::generate_placement(
+      traffic::PlacementKind::kPareto8020, dep.source_count(), rng);
+
+  const std::size_t horizon = options.greedy_steps;
+  const auto plain = core::greedy_schedule(dep.matrix, horizon);
+  const auto weighted =
+      core::weighted_greedy_schedule(dep.matrix, placement.volume, horizon);
+
+  const auto plain_obj =
+      weighted_trajectory(dep.matrix, plain.order, placement.volume, horizon);
+
+  util::print_banner(std::cout,
+                     "Volume-weighted expected cluster size vs schedule");
+  util::Table table({"configs", "plain greedy", "volume-weighted greedy"});
+  for (std::size_t n : bench::log_samples(horizon, {10})) {
+    table.add_row({std::to_string(n), util::fmt_double(plain_obj[n - 1], 2),
+                   util::fmt_double(weighted.mean_cluster_size[n - 1], 2)});
+  }
+  table.print(std::cout);
+
+  util::print_banner(std::cout,
+                     "Mean cluster size of the top-10 heaviest spoofers");
+  util::Table heavy({"after configs", "plain greedy",
+                     "volume-weighted greedy"});
+  for (std::size_t k : {5u, 10u, 20u, 40u}) {
+    heavy.add_row(
+        {std::to_string(k),
+         util::fmt_double(heavy_cluster_size(dep.matrix, plain.order,
+                                             placement.volume, 10, k),
+                          2),
+         util::fmt_double(heavy_cluster_size(dep.matrix, weighted.order,
+                                             placement.volume, 10, k),
+                          2)});
+  }
+  heavy.print(std::cout);
+
+  std::cout << "\nReading: weighting the objective by attributed volume "
+               "spends early announcements\non the clusters carrying the "
+               "most spoofed traffic. Some heavy sources sit in\n"
+               "structurally captive clusters no announcement can split "
+               "(the Figure 3 tail),\nso the weighted advantage is in the "
+               "objective, not full isolation.\n";
+  return 0;
+}

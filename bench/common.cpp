@@ -1,0 +1,212 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+
+#include "core/config_gen.hpp"
+#include "core/io.hpp"
+#include "util/rng.hpp"
+
+namespace spooftrack::bench {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* flag) {
+  std::cerr << "unknown or malformed flag: " << flag << "\n"
+            << "flags: --seed=N --tier1=N --transit=N --stubs=N --probes=N\n"
+            << "       --rounds=N --sequences=N --placements=N\n"
+            << "       --greedy-steps=N --ground-truth --cache-dir=PATH\n"
+            << "       --no-cache\n";
+  std::exit(2);
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    std::uint64_t parsed = 0;
+    auto want_num = [&]() {
+      if (!parse_u64(value, parsed)) usage_and_exit(argv[i]);
+      return parsed;
+    };
+    if (key == "--seed") options.seed = want_num();
+    else if (key == "--tier1") options.tier1 = static_cast<std::uint32_t>(want_num());
+    else if (key == "--transit") options.transit = static_cast<std::uint32_t>(want_num());
+    else if (key == "--stubs") options.stubs = static_cast<std::uint32_t>(want_num());
+    else if (key == "--probes") options.probes = static_cast<std::uint32_t>(want_num());
+    else if (key == "--rounds") options.rounds = static_cast<std::uint32_t>(want_num());
+    else if (key == "--sequences") options.sequences = static_cast<std::uint32_t>(want_num());
+    else if (key == "--placements") options.placements = static_cast<std::uint32_t>(want_num());
+    else if (key == "--greedy-steps") options.greedy_steps = static_cast<std::uint32_t>(want_num());
+    else if (key == "--ground-truth") options.measured = false;
+    else if (key == "--cache-dir") options.cache_dir = value;
+    else if (key == "--no-cache") options.no_cache = true;
+    else usage_and_exit(argv[i]);
+  }
+  return options;
+}
+
+core::TestbedConfig BenchOptions::testbed_config() const {
+  core::TestbedConfig config;
+  config.seed = seed;
+  config.tier1_count = tier1;
+  config.transit_count = transit;
+  config.stub_count = stubs;
+  config.probe_count = probes;
+  config.traceroute_rounds = rounds;
+  config.measured_catchments = measured;
+  config.audit_policies = true;  // Figure 9 shares the standard deployment
+  return config;
+}
+
+namespace {
+
+std::uint64_t options_key(const BenchOptions& o) {
+  std::uint64_t key = o.seed;
+  for (std::uint64_t field :
+       {std::uint64_t{o.tier1}, std::uint64_t{o.transit},
+        std::uint64_t{o.stubs}, std::uint64_t{o.probes},
+        std::uint64_t{o.rounds}, std::uint64_t{o.measured ? 1u : 0u}}) {
+    key = util::hash_combine(key, field);
+  }
+  return key;
+}
+
+ConfigMeta meta_of(const bgp::Configuration& config, Phase phase) {
+  ConfigMeta meta;
+  meta.phase = phase;
+  for (const auto& spec : config.announcements) {
+    meta.active_mask |= 1u << spec.link;
+    if (spec.prepend > 0) meta.prepend_mask |= 1u << spec.link;
+    if (!spec.poisoned.empty()) {
+      meta.poison_link = spec.link;
+      meta.poison_asn = spec.poisoned.front();
+    }
+  }
+  return meta;
+}
+
+/// Rebuilds the bench view from a (possibly cached) artifact.
+StandardDeployment from_artifact(const core::DeploymentArtifact& artifact) {
+  StandardDeployment dep;
+  dep.location_end = artifact.annotation("location_end");
+  dep.prepend_end = artifact.annotation("prepend_end");
+  dep.matrix = artifact.matrix;
+  dep.source_distance = artifact.source_distance;
+  dep.compliance = artifact.compliance;
+  dep.mean_multi_catchment = artifact.mean_multi_catchment;
+  dep.mean_coverage = artifact.mean_coverage;
+  dep.as_count = artifact.as_count;
+  dep.link_count = artifact.link_count;
+  dep.configs.reserve(artifact.configs.size());
+  for (std::size_t i = 0; i < artifact.configs.size(); ++i) {
+    const Phase phase = i < dep.location_end  ? Phase::kLocation
+                        : i < dep.prepend_end ? Phase::kPrepend
+                                              : Phase::kPoison;
+    dep.configs.push_back(meta_of(artifact.configs[i], phase));
+  }
+  return dep;
+}
+
+}  // namespace
+
+StandardDeployment run_standard(const BenchOptions& options) {
+  const std::uint64_t key = options_key(options);
+  const std::string cache_path =
+      options.cache_dir + "/standard-" + std::to_string(key) + ".artifact";
+
+  if (!options.no_cache) {
+    try {
+      auto artifact = core::load_artifact_file(cache_path);
+      std::cerr << "[bench] loaded standard deployment from " << cache_path
+                << "\n";
+      return from_artifact(artifact);
+    } catch (const std::exception&) {
+      // Cache miss or corruption: fall through and (re)compute.
+    }
+  }
+
+  std::cerr << "[bench] running standard deployment (seed=" << options.seed
+            << ", " << options.stubs << " stubs, "
+            << (options.measured ? "measured" : "ground-truth")
+            << " catchments)...\n";
+
+  const core::PeeringTestbed testbed(options.testbed_config());
+  const core::ConfigGenerator generator = testbed.generator();
+  auto location = generator.location_phase();
+  const auto prepends = generator.prepend_phase(location);
+  const auto poisons = generator.poison_phase(testbed.graph());
+
+  std::vector<bgp::Configuration> plan = location;
+  plan.insert(plan.end(), prepends.begin(), prepends.end());
+  plan.insert(plan.end(), poisons.begin(), poisons.end());
+
+  const std::size_t location_end = location.size();
+  const std::size_t prepend_end = location.size() + prepends.size();
+
+  const auto result = testbed.deploy(std::move(plan));
+  auto artifact = core::make_artifact(result, options.seed,
+                                      testbed.graph().size(),
+                                      testbed.origin().links.size());
+  artifact.annotate("location_end", location_end);
+  artifact.annotate("prepend_end", prepend_end);
+
+  if (!options.no_cache) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cache_dir, ec);
+    try {
+      core::save_artifact_file(artifact, cache_path);
+    } catch (const std::exception& e) {
+      std::cerr << "[bench] cache write failed: " << e.what() << "\n";
+    }
+  }
+  return from_artifact(artifact);
+}
+
+std::vector<double> trajectory(const measure::CatchmentMatrix& matrix,
+                               const std::vector<std::size_t>& rows) {
+  std::vector<double> means;
+  if (matrix.empty()) return means;
+  core::ClusterTracker tracker(matrix[0].size());
+  means.reserve(rows.size());
+  for (std::size_t row : rows) {
+    tracker.refine(matrix[row]);
+    means.push_back(tracker.mean_cluster_size());
+  }
+  return means;
+}
+
+std::vector<std::size_t> log_samples(std::size_t n,
+                                     std::vector<std::size_t> anchors) {
+  std::vector<std::size_t> samples = std::move(anchors);
+  for (double x = 1.0; x <= static_cast<double>(n); x *= 1.25) {
+    samples.push_back(static_cast<std::size_t>(std::llround(x)));
+  }
+  samples.push_back(n);
+  std::sort(samples.begin(), samples.end());
+  samples.erase(std::unique(samples.begin(), samples.end()), samples.end());
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [n](std::size_t s) { return s < 1 || s > n; }),
+                samples.end());
+  return samples;
+}
+
+}  // namespace spooftrack::bench

@@ -1,0 +1,91 @@
+// Figure 3: complementary CDF of cluster sizes after each announcement
+// phase (64 location configs; +294 prepending; +347 poisoning = 705).
+//
+// Paper headline (real Internet, PEERING): after all 705 configurations 92%
+// of clusters contain a single AS; 14 clusters are larger than 5 ASes and
+// hold 7.9% of the ASes. The synthetic substrate reproduces the shape:
+// each phase shifts the CCDF left, singletons dominate, and a small tail
+// of large clusters remains.
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cluster.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dep = bench::run_standard(options);
+
+  // Refine through the plan, snapshotting cluster sizes at phase ends.
+  core::ClusterTracker tracker(dep.source_count());
+  std::vector<std::vector<std::uint32_t>> snapshots;
+  for (std::size_t i = 0; i < dep.matrix.size(); ++i) {
+    tracker.refine(dep.matrix[i]);
+    if (i + 1 == dep.location_end || i + 1 == dep.prepend_end ||
+        i + 1 == dep.matrix.size()) {
+      snapshots.push_back(tracker.current().sizes());
+    }
+  }
+
+  const char* phase_names[] = {"locations", "loc+prepending", "all phases"};
+  util::print_banner(std::cout, "Figure 3: CCDF of cluster sizes per phase");
+  std::cout << "(paper x-axis: cluster size [ASes]; y: CCDF of clusters)\n";
+
+  // Distinct sizes across all snapshots.
+  std::vector<double> xs;
+  for (const auto& sizes : snapshots) {
+    for (std::uint32_t s : sizes) xs.push_back(s);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  util::Table table({"size", "ccdf(locations)", "ccdf(loc+prep)",
+                     "ccdf(all 3 phases)"});
+  for (double x : xs) {
+    std::vector<std::string> row{util::fmt_double(x, 0)};
+    for (const auto& sizes : snapshots) {
+      util::Histogram hist;
+      for (std::uint32_t s : sizes) hist.add(s);
+      row.push_back(util::fmt_double(
+          hist.complementary_at(static_cast<std::uint64_t>(x)), 4));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  util::print_banner(std::cout, "Headline statistics");
+  util::Table head({"phase", "configs", "clusters", "mean size",
+                    "singleton clusters", ">5-AS clusters",
+                    "ASes in >5-AS clusters"});
+  const std::size_t boundaries[] = {dep.location_end, dep.prepend_end,
+                                    dep.matrix.size()};
+  for (std::size_t p = 0; p < snapshots.size(); ++p) {
+    const auto& sizes = snapshots[p];
+    std::size_t singleton = 0, big = 0, big_ases = 0, total_ases = 0;
+    for (std::uint32_t s : sizes) {
+      total_ases += s;
+      singleton += s == 1;
+      if (s > 5) {
+        ++big;
+        big_ases += s;
+      }
+    }
+    head.add_row({phase_names[p], std::to_string(boundaries[p]),
+                  std::to_string(sizes.size()),
+                  util::fmt_double(static_cast<double>(total_ases) /
+                                       static_cast<double>(sizes.size()),
+                                   2),
+                  util::fmt_percent(static_cast<double>(singleton) /
+                                    static_cast<double>(sizes.size())),
+                  std::to_string(big),
+                  util::fmt_percent(static_cast<double>(big_ases) /
+                                    static_cast<double>(total_ases))});
+  }
+  head.print(std::cout);
+  std::cout << "\npaper (real Internet): 92% singletons after 705 configs; "
+               "14 clusters >5 ASes holding 7.9% of ASes\n";
+  return 0;
+}

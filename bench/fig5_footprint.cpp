@@ -1,0 +1,111 @@
+// Figure 5: mean cluster size vs number of configurations when the origin
+// has fewer peering locations. Footprints of 6 (5) locations replay the
+// subset of location+prepending configurations a 6-location (5-location)
+// network could deploy: 118 (31) configurations, with a min/max band over
+// all ways of discarding one (two) of the seven PoPs.
+//
+// Paper: more locations allow more configurations AND give smaller
+// clusters at equal configuration counts.
+#include <bit>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using spooftrack::bench::ConfigMeta;
+using spooftrack::bench::Phase;
+
+/// Rows (in deployment order) a network owning exactly the links in
+/// `link_mask` could deploy, with at most `max_removals` withdrawn links.
+std::vector<std::size_t> subset_rows(const std::vector<ConfigMeta>& configs,
+                                     std::uint32_t link_mask,
+                                     std::uint32_t max_removals) {
+  const auto total = static_cast<std::uint32_t>(std::popcount(link_mask));
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ConfigMeta& meta = configs[i];
+    if (meta.phase == Phase::kPoison) continue;
+    if ((meta.active_mask & ~link_mask) != 0) continue;
+    const auto active =
+        static_cast<std::uint32_t>(std::popcount(meta.active_mask));
+    if (active + max_removals < total) continue;
+    rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dep = bench::run_standard(options);
+  const auto links = static_cast<std::uint32_t>(dep.link_count);
+  const std::uint32_t full_mask = (1u << links) - 1;
+
+  // All locations: the full location+prepending plan.
+  std::vector<std::size_t> all_rows(dep.prepend_end);
+  for (std::size_t i = 0; i < dep.prepend_end; ++i) all_rows[i] = i;
+  const auto all_traj = bench::trajectory(dep.matrix, all_rows);
+
+  // Helper: trajectories across every footprint obtained by discarding
+  // `discard` links, with max_removals scaled down accordingly.
+  auto band = [&](std::uint32_t discard, std::uint32_t max_removals) {
+    std::vector<std::vector<double>> trajectories;
+    for (std::uint32_t mask = 0; mask <= full_mask; ++mask) {
+      if (std::popcount(mask) != static_cast<int>(links - discard)) continue;
+      const auto rows = subset_rows(dep.configs, mask, max_removals);
+      trajectories.push_back(bench::trajectory(dep.matrix, rows));
+    }
+    return trajectories;
+  };
+  const auto six = band(1, 2);   // paper: 118 configurations
+  const auto five = band(2, 1);  // paper: 31 configurations
+
+  util::print_banner(std::cout,
+                     "Figure 5: mean cluster size vs configurations, by "
+                     "peering footprint");
+  std::cout << "all locations: " << all_traj.size()
+            << " configs (paper 358); six locations: " << six[0].size()
+            << " (paper 118) x" << six.size()
+            << " subsets; five locations: " << five[0].size()
+            << " (paper 31) x" << five.size() << " subsets\n";
+
+  auto stats_at = [](const std::vector<std::vector<double>>& trajs,
+                     std::size_t step) {
+    util::Accumulator acc;
+    for (const auto& t : trajs) {
+      if (step < t.size()) acc.add(t[step]);
+    }
+    return acc;
+  };
+
+  util::Table table({"configs", "all locations", "six (mean)", "six (min)",
+                     "six (max)", "five (mean)", "five (min)", "five (max)"});
+  for (std::size_t n : bench::log_samples(all_traj.size())) {
+    std::vector<std::string> row{std::to_string(n)};
+    row.push_back(util::fmt_double(all_traj[n - 1], 2));
+    for (const auto* trajs : {&six, &five}) {
+      const auto acc = stats_at(*trajs, n - 1);
+      if (acc.count() == 0) {
+        row.insert(row.end(), {"-", "-", "-"});
+      } else {
+        row.push_back(util::fmt_double(acc.mean(), 2));
+        row.push_back(util::fmt_double(acc.min(), 2));
+        row.push_back(util::fmt_double(acc.max(), 2));
+      }
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfinal mean cluster sizes: all="
+            << util::fmt_double(all_traj.back(), 2)
+            << " six=" << util::fmt_double(stats_at(six, six[0].size() - 1).mean(), 2)
+            << " five=" << util::fmt_double(stats_at(five, five[0].size() - 1).mean(), 2)
+            << " (paper: larger footprint -> smaller clusters)\n";
+  return 0;
+}

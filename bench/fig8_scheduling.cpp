@@ -1,0 +1,50 @@
+// Figure 8: localization speed. Deploying configurations in a random order
+// (band over many random sequences) vs the greedy order that assumes
+// catchments were measured beforehand and always picks the configuration
+// minimising mean cluster size. Paper: after ten configurations, random
+// yields mean clusters of 7.8 ASes vs 3.5 for the greedy order.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/scheduler.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto dep = bench::run_standard(options);
+
+  std::cerr << "[bench] " << options.sequences
+            << " random sequences (paper used 30,000; use --sequences=N to "
+               "scale) and greedy horizon "
+            << options.greedy_steps << "\n";
+
+  const auto ensemble = core::random_ensemble(
+      dep.matrix, options.sequences, options.seed ^ 0xF18, 0);
+  const auto greedy = core::greedy_schedule(dep.matrix, options.greedy_steps);
+
+  util::print_banner(std::cout,
+                     "Figure 8: mean cluster size vs announcement schedule");
+  util::Table table({"configs", "random p25", "random median", "random p75",
+                     "greedy"});
+  for (std::size_t n : bench::log_samples(ensemble.p50.size(), {10})) {
+    std::vector<std::string> row{
+        std::to_string(n), util::fmt_double(ensemble.p25[n - 1], 2),
+        util::fmt_double(ensemble.p50[n - 1], 2),
+        util::fmt_double(ensemble.p75[n - 1], 2)};
+    row.push_back(n <= greedy.mean_cluster_size.size()
+                      ? util::fmt_double(greedy.mean_cluster_size[n - 1], 2)
+                      : "-");
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  if (ensemble.p50.size() >= 10 && greedy.mean_cluster_size.size() >= 10) {
+    std::cout << "\nafter 10 configurations: random median = "
+              << util::fmt_double(ensemble.p50[9], 2)
+              << ", greedy = "
+              << util::fmt_double(greedy.mean_cluster_size[9], 2)
+              << " (paper: 7.8 vs 3.5 — greedy roughly halves the mean)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table I: PoPs and providers of the (emulated) PEERING platform, plus the
+// synthetic-substrate statistics that stand in for the real Internet.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/config_gen.hpp"
+#include "topology/metrics.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+
+  util::print_banner(std::cout, "Table I: PoPs and providers (paper setup)");
+  util::Table table({"Mux", "Transit Provider", "ASN"});
+  for (const auto& mux : core::table1_muxes()) {
+    table.add_row({mux.mux, mux.provider_name,
+                   "AS" + std::to_string(mux.provider_asn)});
+  }
+  table.print(std::cout);
+
+  util::print_banner(std::cout, "Emulated substrate (paper: real Internet)");
+  const core::PeeringTestbed testbed(options.testbed_config());
+  const auto& graph = testbed.graph();
+  const auto tier1 = topology::tier1_set(graph);
+
+  util::Table stats({"Property", "Value"});
+  stats.add_row({"ASes", std::to_string(graph.size())});
+  stats.add_row({"AS-level edges", std::to_string(graph.edge_count())});
+  stats.add_row({"tier-1 clique", std::to_string(tier1.size())});
+  stats.add_row({"origin ASN", "AS" + std::to_string(testbed.origin().asn)});
+  stats.add_row({"peering links",
+                 std::to_string(testbed.origin().links.size())});
+  stats.add_row({"RIPE-Atlas-style probe ASes",
+                 std::to_string(testbed.probe_ases().size())});
+
+  // Poison targets available (the paper identified 347 provider neighbors).
+  const auto poison = testbed.generator().poison_phase(graph);
+  stats.add_row({"poisoning configurations", std::to_string(poison.size())});
+  stats.print(std::cout);
+
+  util::print_banner(std::cout, "Per-provider neighborhood");
+  util::Table degrees({"Provider", "Neighbors", "Customers"});
+  for (const auto& mux : core::table1_muxes()) {
+    const auto id = *graph.id_of(mux.provider_asn);
+    degrees.add_row(
+        {std::string(mux.provider_name), std::to_string(graph.degree(id)),
+         std::to_string(
+             graph.neighbors_with(id, topology::Rel::kCustomer).size())});
+  }
+  degrees.print(std::cout);
+  return 0;
+}

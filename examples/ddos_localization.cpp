@@ -1,0 +1,163 @@
+// DDoS localization scenario: the paper's motivating use case end-to-end,
+// with the full measured pipeline and packet-level traffic.
+//
+// An amplification attack spoofs a victim's address from a handful of
+// compromised ASes. The origin network (running an AmpPot-style honeypot
+// inside the experiment prefix):
+//   1. pre-measures catchments for its configuration plan (feeds +
+//      traceroutes + repair + imputation — the SIV pipeline),
+//   2. replays the attack against a greedy schedule of configurations,
+//   3. correlates per-link honeypot volumes with clusters,
+//   4. reports the suspect clusters and how many configurations the
+//      greedy schedule needed.
+#include <iostream>
+
+#include "core/attribution.hpp"
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "core/mitigation.hpp"
+#include "core/scheduler.hpp"
+#include "traffic/background.hpp"
+#include "traffic/honeypot.hpp"
+#include "traffic/spoofer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spooftrack;
+
+  core::TestbedConfig config;
+  config.seed = 5;
+  config.stub_count = 1200;
+  config.transit_count = 100;
+  config.probe_count = 400;
+  config.measured_catchments = true;
+  const core::PeeringTestbed testbed(config);
+
+  core::GeneratorOptions gen;
+  gen.max_removals = 2;
+  gen.max_poison_configs = 80;
+  auto plan = testbed.generator(gen).full_plan(testbed.graph());
+  std::cout << "pre-measuring catchments for " << plan.size()
+            << " configurations (feeds + traceroutes + repair)...\n";
+  const auto deployment = testbed.deploy(std::move(plan));
+  const auto clustering = core::cluster_sources(deployment.matrix);
+  std::cout << "  " << deployment.sources.size() << " sources, "
+            << clustering.cluster_count << " clusters, mean size "
+            << util::fmt_double(clustering.mean_size(), 2) << "\n";
+
+  // The attack: three compromised stub ASes flood an NTP honeypot with
+  // monlist queries spoofing the victim.
+  const netcore::Ipv4Addr victim{198, 51, 100, 9};
+  std::vector<std::size_t> attacker_sources;
+  for (std::size_t s = 7; attacker_sources.size() < 3;
+       s += deployment.sources.size() / 3) {
+    attacker_sources.push_back(s % deployment.sources.size());
+  }
+
+  traffic::SpoofedTrafficGenerator traffic_gen(1234);
+  std::vector<std::vector<double>> observed;  // per config, per link
+
+  // Greedy schedule over the pre-measured catchments (§V-C): the operator
+  // deploys the most informative configurations first.
+  const auto schedule = core::greedy_schedule(deployment.matrix, 20);
+  std::cout << "replaying the attack under the " << schedule.order.size()
+            << " greedy-scheduled configurations...\n";
+
+  measure::CatchmentMatrix deployed_rows;
+  traffic::HoneypotOptions pot_options;
+  pot_options.attack_min_packets = 50;
+  std::uint64_t suppressed = 0;
+  for (std::size_t step : schedule.order) {
+    traffic::AmpPotHoneypot pot(testbed.origin().links.size(), pot_options);
+    std::vector<traffic::SpoofedFlow> flows;
+    for (std::size_t i = 0; i < attacker_sources.size(); ++i) {
+      traffic::SpoofedFlow flow;
+      flow.source_as = deployment.sources[attacker_sources[i]];
+      flow.victim = victim;
+      flow.protocol = traffic::AmpProtocol::kNtpMonlist;
+      // Distinct rates per attacker: equal-rate sources are a degenerate
+      // tie for any volume-decomposition method.
+      flow.packets_per_second = 80.0 * static_cast<double>(i + 1);
+      flows.push_back(flow);
+    }
+    const auto arrivals =
+        traffic_gen.deliver(flows, deployment.truth[step], 1.0, 400);
+    for (const auto& arrived : arrivals) {
+      pot.receive(arrived.link, arrived.datagram, arrived.timestamp);
+    }
+    suppressed += pot.responses_suppressed();
+    observed.push_back(pot.volume_by_link());
+    deployed_rows.push_back(deployment.matrix[step]);
+  }
+  std::cout << "  honeypot rate limiter suppressed " << suppressed
+            << " reflected responses across the replay\n";
+
+  // Mixture attribution over the deployed subset (what the operator saw):
+  // the observed per-link volumes are decomposed into per-cluster
+  // contributions, which handles several simultaneous attackers.
+  const auto sub_clustering = core::cluster_sources(deployed_rows);
+  // Strict consistency (the default): a cluster only absorbs weight when
+  // its trajectory matches the volumes in EVERY deployed configuration.
+  // Catchment-inference errors can therefore hide a real attacker — the
+  // residual_fraction printed below is the honest "unattributed" signal an
+  // operator would see (the paper's motivation for better catchment
+  // measurement).
+  const auto mixture =
+      core::attribute_mixture(deployed_rows, sub_clustering, observed);
+
+  util::Table table(
+      {"component", "cluster", "ASes", "weight", "contains attacker?"});
+  for (std::size_t rank = 0; rank < mixture.components.size(); ++rank) {
+    const auto& component = mixture.components[rank];
+    bool has_attacker = false;
+    for (std::size_t s : attacker_sources) {
+      has_attacker |= sub_clustering.cluster_of[s] == component.cluster;
+    }
+    table.add_row({std::to_string(rank + 1),
+                   std::to_string(component.cluster),
+                   std::to_string(sub_clustering.sizes()[component.cluster]),
+                   util::fmt_percent(component.weight),
+                   has_attacker ? "YES" : "no"});
+  }
+  table.print(std::cout);
+
+  std::size_t hits = 0;
+  std::size_t suspects = 0;
+  for (const auto& component : mixture.components) {
+    suspects += sub_clustering.sizes()[component.cluster];
+  }
+  for (std::size_t s : attacker_sources) {
+    for (const auto& component : mixture.components) {
+      if (sub_clustering.cluster_of[s] == component.cluster) ++hits;
+    }
+  }
+  std::cout << "\n" << hits << "/" << attacker_sources.size()
+            << " attacker ASes inside the " << mixture.components.size()
+            << " suspect clusters (" << suspects
+            << " ASes total) after only " << schedule.order.size()
+            << " configurations; unexplained volume: "
+            << util::fmt_percent(mixture.residual_fraction) << "\n";
+
+  // Finally, turn the attribution into mitigation (SI: RTBH blackholing or
+  // flowspec filters, weighed against the legitimate traffic that shares
+  // each ingress link under the currently-deployed configuration).
+  const std::size_t live = schedule.order.back();
+  const measure::AddressPlan plan_addr(testbed.graph());
+  const traffic::BackgroundTrafficModel background(testbed.graph(),
+                                                   plan_addr, {});
+  std::vector<double> legit_by_link(testbed.origin().links.size(), 0.0);
+  for (const auto& arrived : background.generate(deployment.truth[live], 3)) {
+    legit_by_link[arrived.link] += 1.0;
+  }
+  const auto mitigation = core::plan_mitigation(
+      mixture, sub_clustering, deployment.sources, testbed.graph(),
+      deployment.truth[live], legit_by_link);
+
+  std::cout << "\nmitigation plan (covers "
+            << util::fmt_percent(mitigation.covered_weight)
+            << " of attributed volume):\n";
+  for (const auto& action : mitigation.actions) {
+    std::cout << "  * " << action.describe() << "\n";
+  }
+  return 0;
+}

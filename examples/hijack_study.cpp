@@ -1,0 +1,97 @@
+// Hijack-scenario study (§VI): each configuration announcing from n
+// locations doubles as 2^n prefix-hijack experiments — any subset of the
+// locations can be read as the hijacker's sites competing for traffic with
+// the legitimate ones. This example quantifies how much traffic a hijacker
+// would capture as a function of how many (and which) sites it announces
+// from.
+#include <bit>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/hijack.hpp"
+#include "netcore/ipv6.hpp"
+#include "netcore/lpm.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spooftrack;
+
+  core::TestbedConfig config;
+  config.seed = 17;
+  config.stub_count = 1500;
+  config.transit_count = 120;
+  config.measured_catchments = false;
+  const core::PeeringTestbed testbed(config);
+
+  // Use the all-locations anycast configuration: 2^7 - 2 = 126 scenarios.
+  const auto announce_all = testbed.generator().location_phase().front();
+  const auto outcome = testbed.route(announce_all);
+  const auto catchments = bgp::extract_catchments(outcome, announce_all);
+  const auto scenarios = core::hijack_coverage(catchments, announce_all);
+
+  std::cout << "one anycast configuration with "
+            << announce_all.announcements.size() << " locations covers "
+            << scenarios.size() << " hijack scenarios\n";
+
+  // Aggregate captured fraction by hijacker site count.
+  util::print_banner(std::cout,
+                     "Captured traffic fraction by number of hijacker sites");
+  util::Table table({"hijacker sites", "scenarios", "mean captured",
+                     "min", "max"});
+  for (std::uint32_t k = 1; k < announce_all.announcements.size(); ++k) {
+    util::Accumulator acc;
+    for (const auto& s : scenarios) {
+      if (s.hijacker_announcements == k) acc.add(s.captured_fraction);
+    }
+    table.add_row({std::to_string(k), std::to_string(acc.count()),
+                   util::fmt_percent(acc.mean()), util::fmt_percent(acc.min()),
+                   util::fmt_percent(acc.max())});
+  }
+  table.print(std::cout);
+
+  // The most and least dangerous single-site hijacks.
+  util::print_banner(std::cout, "Single-site hijacks, per mux");
+  util::Table single({"hijacker site", "provider", "captured"});
+  for (const auto& s : scenarios) {
+    if (s.hijacker_announcements != 1) continue;
+    const auto link = static_cast<std::size_t>(
+        std::countr_zero(s.hijacker_mask));
+    single.add_row({testbed.origin().links[link].pop_name,
+                    "AS" + std::to_string(testbed.origin().links[link].provider),
+                    util::fmt_percent(s.captured_fraction)});
+  }
+  single.print(std::cout);
+
+  // SVI's contrast case: a SUBPREFIX hijack needs no catchment analysis at
+  // all — longest-prefix matching hands the hijacker everything. Announce
+  // the victim's 184.164.224.0/24 as two /25s and every router prefers
+  // the hijacker, regardless of AS-path or location:
+  util::print_banner(std::cout, "Why subprefix hijacks are different (SVI)");
+  netcore::LpmTable<const char*> rib;
+  rib.insert(*netcore::Ipv4Prefix::parse("184.164.224.0/24"), "victim");
+  rib.insert(*netcore::Ipv4Prefix::parse("184.164.224.0/25"), "hijacker");
+  rib.insert(*netcore::Ipv4Prefix::parse("184.164.224.128/25"), "hijacker");
+  std::size_t captured = 0;
+  for (std::uint32_t host = 0; host < 256; ++host) {
+    const auto owner = rib.lookup(
+        netcore::Ipv4Addr{184, 164, 224, static_cast<std::uint8_t>(host)});
+    captured += owner && std::string_view(*owner) == "hijacker";
+  }
+  std::cout << "subprefix hijack captures " << captured
+            << "/256 addresses of the /24 — deterministically, because\n"
+               "longest-prefix match ignores routing preferences entirely.\n"
+               "The same holds for IPv6: "
+            << netcore::Ipv6Prefix::parse("2001:db8:42::/48")->to_string()
+            << " inside "
+            << netcore::Ipv6Prefix::parse("2001:db8::/32")->to_string()
+            << " wins every lookup. Defenses must announce equally-specific\n"
+               "prefixes (/24 IPv4, /48 IPv6) and fight for catchments — the\n"
+               "competition this study quantifies above.\n";
+
+  std::cout << "\nReading: a hijacker announcing from one well-connected\n"
+               "site can already capture a large slice of the Internet —\n"
+               "and the same catchment data quantifies competing-prefix\n"
+               "defenses (announcing from more sites shrinks the slice).\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "bgp/catchment.hpp"
+
+namespace spooftrack::bgp {
+
+std::size_t CatchmentMap::count(LinkId link) const noexcept {
+  std::size_t n = 0;
+  for (LinkId l : link_of) {
+    if (l == link) ++n;
+  }
+  return n;
+}
+
+std::vector<topology::AsId> CatchmentMap::members(LinkId link) const {
+  std::vector<topology::AsId> out;
+  for (topology::AsId id = 0; id < link_of.size(); ++id) {
+    if (link_of[id] == link) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t CatchmentMap::routed_count() const noexcept {
+  std::size_t n = 0;
+  for (LinkId l : link_of) {
+    if (l != kNoCatchment) ++n;
+  }
+  return n;
+}
+
+CatchmentMap extract_catchments(const RoutingOutcome& outcome,
+                                const Configuration& config) {
+  CatchmentMap map;
+  map.link_of.assign(outcome.best.size(), kNoCatchment);
+  for (topology::AsId id = 0; id < outcome.best.size(); ++id) {
+    const Route& route = outcome.best[id];
+    if (!route.valid()) continue;
+    map.link_of[id] = config.announcements[route.ann].link;
+  }
+  return map;
+}
+
+}  // namespace spooftrack::bgp

@@ -1,0 +1,37 @@
+// Catchments: the partition of sources induced by one announcement
+// configuration. Each routed AS belongs to exactly one peering link's
+// catchment — the link whose announcement its best route descends from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/announcement.hpp"
+#include "bgp/engine.hpp"
+
+namespace spooftrack::bgp {
+
+inline constexpr LinkId kNoCatchment = std::numeric_limits<LinkId>::max();
+
+/// Catchment membership for one configuration.
+struct CatchmentMap {
+  /// Per AsId: the peering link whose catchment the AS belongs to, or
+  /// kNoCatchment when the AS has no route under this configuration.
+  std::vector<LinkId> link_of;
+
+  LinkId operator[](topology::AsId id) const noexcept { return link_of[id]; }
+  std::size_t size() const noexcept { return link_of.size(); }
+
+  /// Number of ASes routed to `link`.
+  std::size_t count(LinkId link) const noexcept;
+  /// AsIds routed to `link`.
+  std::vector<topology::AsId> members(LinkId link) const;
+  /// Number of ASes with any catchment.
+  std::size_t routed_count() const noexcept;
+};
+
+/// Ground-truth catchments from a routing outcome.
+CatchmentMap extract_catchments(const RoutingOutcome& outcome,
+                                const Configuration& config);
+
+}  // namespace spooftrack::bgp

@@ -1,0 +1,301 @@
+#include "bgp/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace spooftrack::bgp {
+
+using topology::AsId;
+using topology::kInvalidAsId;
+using topology::Rel;
+
+Engine::Engine(const topology::AsGraph& graph, const RoutingPolicy& policy,
+               EngineOptions options)
+    : graph_(graph), policy_(policy), options_(options) {
+  if (!graph_.frozen()) {
+    throw std::invalid_argument("engine requires a frozen AsGraph");
+  }
+}
+
+namespace {
+
+struct Seed {
+  std::uint32_t ann = kNoAnnouncement;
+  std::vector<topology::Asn> path;
+};
+
+struct SeedTable {
+  AsId origin_id = kInvalidAsId;
+  std::vector<Seed> seed_of;    // indexed by AsId (link providers only)
+  std::vector<bool> has_seed;
+};
+
+/// Validates the configuration against the topology and builds the seed
+/// routes each link provider hears from the origin.
+SeedTable build_seeds(const topology::AsGraph& graph,
+                      const OriginSpec& origin, const Configuration& config) {
+  validate(config, origin);
+
+  const auto origin_id = graph.id_of(origin.asn);
+  if (!origin_id) {
+    throw std::invalid_argument("origin AS " + std::to_string(origin.asn) +
+                                " not present in topology");
+  }
+
+  SeedTable table;
+  table.origin_id = *origin_id;
+  table.seed_of.resize(graph.size());
+  table.has_seed.assign(graph.size(), false);
+
+  for (std::uint32_t ann = 0; ann < config.announcements.size(); ++ann) {
+    const AnnouncementSpec& spec = config.announcements[ann];
+    const PeeringLink& link = origin.links[spec.link];
+    const auto provider_id = graph.id_of(link.provider);
+    if (!provider_id) {
+      throw std::invalid_argument("link provider AS " +
+                                  std::to_string(link.provider) +
+                                  " not present in topology");
+    }
+    const auto rel = graph.relationship(*origin_id, *provider_id);
+    if (!rel || *rel != Rel::kProvider) {
+      throw std::invalid_argument(
+          "origin is not a customer of link provider AS " +
+          std::to_string(link.provider));
+    }
+    if (table.has_seed[*provider_id]) {
+      throw std::invalid_argument("two peering links share provider AS " +
+                                  std::to_string(link.provider));
+    }
+    table.has_seed[*provider_id] = true;
+    table.seed_of[*provider_id] = Seed{ann, seed_path(origin.asn, spec)};
+  }
+  return table;
+}
+
+}  // namespace
+
+RoutingOutcome Engine::run(const OriginSpec& origin,
+                           const Configuration& config) const {
+  const SeedTable seeds = build_seeds(graph_, origin, config);
+  const AsId origin_id = seeds.origin_id;
+
+  RoutingOutcome outcome;
+
+  // Double-buffered Jacobi iteration with activity tracking: an AS is
+  // recomputed only when one of its neighbors changed in the previous
+  // round (every AS is active in round 0).
+  std::vector<Route> current(graph_.size());
+  std::vector<AsId> current_from(graph_.size(), kInvalidAsId);
+  std::vector<bool> changed_prev(graph_.size(), true);
+  std::vector<std::uint32_t> settled(graph_.size(), 0);
+
+  bool any_change = true;
+  std::uint32_t round = 0;
+  std::vector<Route> next(graph_.size());
+  std::vector<AsId> next_from(graph_.size(), kInvalidAsId);
+  std::vector<bool> changed_now(graph_.size(), false);
+
+  for (; round < options_.max_rounds && any_change; ++round) {
+    any_change = false;
+    std::fill(changed_now.begin(), changed_now.end(), false);
+
+    for (AsId x = 0; x < graph_.size(); ++x) {
+      if (x == origin_id) {
+        next[x] = Route{};
+        next_from[x] = kInvalidAsId;
+        continue;
+      }
+
+      bool active = round == 0 || !options_.activity_tracking;
+      if (!active) {
+        for (const topology::Neighbor& n : graph_.neighbors(x)) {
+          if (changed_prev[n.id]) {
+            active = true;
+            break;
+          }
+        }
+      }
+      if (!active) {
+        next[x] = current[x];
+        next_from[x] = current_from[x];
+        continue;
+      }
+
+      const topology::Asn x_asn = graph_.asn_of(x);
+      CandidateRef best_ref;
+      bool have_best = false;
+
+      for (const topology::Neighbor& n : graph_.neighbors(x)) {
+        CandidateRef cand;
+        if (n.id == origin_id) {
+          if (!seeds.has_seed[x]) continue;
+          // Direct announcement from the origin over this peering link.
+          const Seed& seed = seeds.seed_of[x];
+          cand.sender = origin_id;
+          cand.sender_asn = origin.asn;
+          cand.rel_of_sender = n.rel;  // origin is our customer
+          cand.ann = seed.ann;
+          cand.learned_path = &seed.path;
+          cand.path_includes_sender = true;
+        } else {
+          const Route& learned = current[n.id];
+          if (!learned.valid()) continue;
+          // Valley-free export rule at the sender: from the sender's
+          // perspective, x is reverse(n.rel).
+          if (!policy_.exports(learned.learned_from,
+                               topology::reverse(n.rel))) {
+            continue;
+          }
+          // BGP-community export control: a link provider whose best route
+          // is its own seed withholds it from no-export targets.
+          if (seeds.has_seed[n.id] &&
+              seeds.seed_of[n.id].ann == learned.ann) {
+            const auto& blocked =
+                config.announcements[learned.ann].no_export_to;
+            if (std::find(blocked.begin(), blocked.end(), x_asn) !=
+                blocked.end()) {
+              continue;
+            }
+          }
+          cand.sender = n.id;
+          cand.sender_asn = graph_.asn_of(n.id);
+          cand.rel_of_sender = n.rel;
+          cand.ann = learned.ann;
+          cand.learned_path = &learned.as_path;
+          cand.path_includes_sender = false;
+        }
+        cand.local_pref = policy_.local_pref(x, cand.rel_of_sender);
+
+        if (!policy_.accepts(x, x_asn, cand.rel_of_sender, cand)) continue;
+        if (!have_best || policy_.better(x, x_asn, cand, best_ref)) {
+          best_ref = cand;
+          have_best = true;
+        }
+      }
+
+      // Materialise the winner and compare with the previous round's route.
+      Route winner;
+      AsId winner_from = kInvalidAsId;
+      if (have_best) {
+        winner.ann = best_ref.ann;
+        winner.learned_from = best_ref.rel_of_sender;
+        winner.local_pref = best_ref.local_pref;
+        if (best_ref.path_includes_sender) {
+          winner.as_path = *best_ref.learned_path;
+        } else {
+          winner.as_path.reserve(best_ref.learned_path->size() + 1);
+          winner.as_path.push_back(best_ref.sender_asn);
+          winner.as_path.insert(winner.as_path.end(),
+                                best_ref.learned_path->begin(),
+                                best_ref.learned_path->end());
+        }
+        winner_from = best_ref.sender;
+      }
+
+      const bool differs =
+          winner_from != current_from[x] || !(winner == current[x]);
+      next[x] = std::move(winner);
+      next_from[x] = winner_from;
+      if (differs) {
+        changed_now[x] = true;
+        any_change = true;
+        settled[x] = round + 1;
+      }
+    }
+
+    current.swap(next);
+    current_from.swap(next_from);
+    changed_prev.swap(changed_now);
+  }
+
+  outcome.rounds = round;
+  outcome.converged = !any_change;
+  outcome.best = std::move(current);
+  outcome.next_hop = std::move(current_from);
+  outcome.settled_round = std::move(settled);
+  return outcome;
+}
+
+std::vector<Engine::CandidateInfo> Engine::candidates(
+    AsId as_id, const OriginSpec& origin, const Configuration& config,
+    const RoutingOutcome& outcome) const {
+  const SeedTable seeds = build_seeds(graph_, origin, config);
+  std::vector<CandidateInfo> out;
+  if (as_id == seeds.origin_id) return out;
+
+  const topology::Asn x_asn = graph_.asn_of(as_id);
+  for (const topology::Neighbor& n : graph_.neighbors(as_id)) {
+    CandidateRef cand;
+    if (n.id == seeds.origin_id) {
+      if (!seeds.has_seed[as_id]) continue;
+      const Seed& seed = seeds.seed_of[as_id];
+      cand.sender = seeds.origin_id;
+      cand.sender_asn = origin.asn;
+      cand.rel_of_sender = n.rel;
+      cand.ann = seed.ann;
+      cand.learned_path = &seed.path;
+      cand.path_includes_sender = true;
+    } else {
+      const Route& learned = outcome.best[n.id];
+      if (!learned.valid()) continue;
+      if (!policy_.exports(learned.learned_from, topology::reverse(n.rel))) {
+        continue;
+      }
+      if (seeds.has_seed[n.id] && seeds.seed_of[n.id].ann == learned.ann) {
+        const auto& blocked = config.announcements[learned.ann].no_export_to;
+        if (std::find(blocked.begin(), blocked.end(), x_asn) !=
+            blocked.end()) {
+          continue;
+        }
+      }
+      cand.sender = n.id;
+      cand.sender_asn = graph_.asn_of(n.id);
+      cand.rel_of_sender = n.rel;
+      cand.ann = learned.ann;
+      cand.learned_path = &learned.as_path;
+      cand.path_includes_sender = false;
+    }
+    cand.local_pref = policy_.local_pref(as_id, cand.rel_of_sender);
+    if (!policy_.accepts(as_id, x_asn, cand.rel_of_sender, cand)) continue;
+
+    CandidateInfo info;
+    info.sender = cand.sender;
+    info.rel_of_sender = cand.rel_of_sender;
+    info.local_pref = cand.local_pref;
+    info.length = cand.length();
+    info.ann = cand.ann;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<AsId> forwarding_path(const RoutingOutcome& outcome,
+                                  AsId source, AsId origin) {
+  std::vector<AsId> path;
+  if (source == origin) {
+    path.push_back(origin);
+    return path;
+  }
+  if (source >= outcome.best.size() || !outcome.best[source].valid()) {
+    return path;
+  }
+  AsId cursor = source;
+  const std::size_t limit = outcome.best.size() + 1;
+  while (true) {
+    path.push_back(cursor);
+    if (cursor == origin) return path;
+    if (path.size() > limit) {
+      throw std::logic_error("forwarding loop detected");
+    }
+    const AsId hop = outcome.next_hop[cursor];
+    if (hop == kInvalidAsId) {
+      // Inconsistent forwarding state (should not happen on converged
+      // outcomes); surface as an empty path.
+      return {};
+    }
+    cursor = hop;
+  }
+}
+
+}  // namespace spooftrack::bgp

@@ -1,0 +1,100 @@
+// Synchronous path-vector routing engine.
+//
+// Computes, for one announcement configuration, the best route of every AS
+// toward the experiment prefix by iterating synchronous Jacobi rounds to a
+// fixed point: each round, every (active) AS recomputes its best route from
+// its neighbors' round-(k-1) routes under the RoutingPolicy. Gao-Rexford
+// class ordering is preserved by every policy this library constructs, so
+// the instance is dispute-wheel-free and the iteration converges; a round
+// cap turns pathological custom policies into a reported error instead of a
+// hang.
+//
+// The origin AS is modelled explicitly: it originates the prefix on the
+// configured peering links (with prepending / poisoning encoded in the seed
+// AS-path) and never transits routes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/announcement.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/route.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::bgp {
+
+struct EngineOptions {
+  /// Hard cap on Jacobi rounds; converging instances use far fewer
+  /// (roughly the AS-level diameter).
+  std::uint32_t max_rounds = 512;
+  /// Recompute an AS only when a neighbor changed in the previous round.
+  /// Semantically transparent (the fixed point is identical); exists as an
+  /// ablation knob for the performance claim in docs/architecture.md.
+  bool activity_tracking = true;
+};
+
+struct RoutingOutcome {
+  /// Best route per AsId; invalid (ann == kNoAnnouncement) when the AS has
+  /// no route to the prefix. The origin's own entry is invalid by
+  /// convention (it originates rather than routes).
+  std::vector<Route> best;
+  /// Data-plane next hop per AsId (kInvalidAsId when unrouted).
+  std::vector<topology::AsId> next_hop;
+  /// Per AsId: the 1-based Jacobi round after which the AS never changed
+  /// its route again (0 = never held a route / never changed). Feeds the
+  /// convergence-time model: deeper ripples settle later.
+  std::vector<std::uint32_t> settled_round;
+  std::uint32_t rounds = 0;
+  bool converged = false;
+};
+
+class Engine {
+ public:
+  /// The graph and policy must outlive the engine.
+  Engine(const topology::AsGraph& graph, const RoutingPolicy& policy,
+         EngineOptions options = {});
+
+  /// Routes one configuration. Thread-safe: `run` is const and keeps all
+  /// mutable state on the stack, so configurations can run in parallel.
+  /// Throws std::invalid_argument for malformed configurations or origins
+  /// whose link providers are not providers of the origin in the graph.
+  RoutingOutcome run(const OriginSpec& origin,
+                     const Configuration& config) const;
+
+  /// A route available to an AS (used by the policy-compliance audit of
+  /// Figure 9): what a neighbor exported and the AS accepted.
+  struct CandidateInfo {
+    topology::AsId sender = topology::kInvalidAsId;
+    topology::Rel rel_of_sender = topology::Rel::kProvider;
+    std::uint8_t local_pref = kPrefProvider;
+    std::uint32_t length = 0;
+    std::uint32_t ann = kNoAnnouncement;
+  };
+
+  /// Enumerates the candidate routes `as_id` could choose under `outcome`
+  /// (its neighbors' exported routes plus any direct origin announcement,
+  /// after import filtering).
+  std::vector<CandidateInfo> candidates(topology::AsId as_id,
+                                        const OriginSpec& origin,
+                                        const Configuration& config,
+                                        const RoutingOutcome& outcome) const;
+
+  const topology::AsGraph& graph() const noexcept { return graph_; }
+  const RoutingPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  const topology::AsGraph& graph_;
+  const RoutingPolicy& policy_;
+  EngineOptions options_;
+};
+
+/// Walks data-plane next hops from `source` to `origin`. Returns the AsId
+/// sequence including both endpoints, or an empty vector when the source
+/// has no route. Throws std::logic_error on a forwarding loop (which would
+/// indicate an engine bug or a non-converged outcome).
+std::vector<topology::AsId> forwarding_path(const RoutingOutcome& outcome,
+                                            topology::AsId source,
+                                            topology::AsId origin);
+
+}  // namespace spooftrack::bgp

@@ -1,0 +1,37 @@
+#include "bgp/route.hpp"
+
+#include <algorithm>
+
+namespace spooftrack::bgp {
+
+std::uint8_t canonical_pref(topology::Rel rel_of_sender) noexcept {
+  switch (rel_of_sender) {
+    case topology::Rel::kCustomer: return kPrefCustomer;
+    case topology::Rel::kPeer: return kPrefPeer;
+    case topology::Rel::kProvider: return kPrefProvider;
+  }
+  return kPrefProvider;
+}
+
+bool Route::contains(topology::Asn asn) const noexcept {
+  return std::find(as_path.begin(), as_path.end(), asn) != as_path.end();
+}
+
+std::string Route::to_string() const {
+  if (!valid()) return "<no route>";
+  std::string out = "[";
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(as_path[i]);
+  }
+  out += "] learned from ";
+  out += topology::to_string(learned_from);
+  out += " lp=";
+  out += std::to_string(static_cast<unsigned>(local_pref));
+  out += " (ann ";
+  out += std::to_string(ann);
+  out += ")";
+  return out;
+}
+
+}  // namespace spooftrack::bgp

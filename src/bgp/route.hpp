@@ -1,0 +1,50 @@
+// BGP route state held by an AS for the experiment prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/announcement.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::bgp {
+
+/// Canonical Gao-Rexford local-preference values: routes through customers
+/// beat routes through peers beat routes through providers. Individual ASes
+/// may deviate (see RoutingPolicy::local_pref), which is how the library
+/// models the policy violations Figure 9 measures.
+inline constexpr std::uint8_t kPrefProvider = 0;
+inline constexpr std::uint8_t kPrefPeer = 1;
+inline constexpr std::uint8_t kPrefCustomer = 2;
+
+std::uint8_t canonical_pref(topology::Rel rel_of_sender) noexcept;
+
+/// The route an AS currently uses toward the experiment prefix.
+///
+/// `as_path` is the path exactly as received: as_path.front() is the
+/// neighbor the route was learned from and as_path.back() is the origin.
+/// Prepended and poisoned (sandwiched) ASNs inserted by the origin appear
+/// verbatim, so as_path.size() is the length BGP compares.
+struct Route {
+  std::uint32_t ann = kNoAnnouncement;  // announcement id in the configuration
+  /// Relationship of the neighbor the route was learned from; drives the
+  /// valley-free export rule.
+  topology::Rel learned_from = topology::Rel::kProvider;
+  /// LocalPref assigned by the holder; drives best-route selection.
+  std::uint8_t local_pref = kPrefProvider;
+  std::vector<topology::Asn> as_path;
+
+  bool valid() const noexcept { return ann != kNoAnnouncement; }
+  std::uint32_t length() const noexcept {
+    return static_cast<std::uint32_t>(as_path.size());
+  }
+  /// True when `asn` appears anywhere in the AS-path (loop detection).
+  bool contains(topology::Asn asn) const noexcept;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+}  // namespace spooftrack::bgp

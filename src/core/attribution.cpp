@@ -1,0 +1,173 @@
+#include "core/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.hpp"
+#include <stdexcept>
+
+namespace spooftrack::core {
+
+TrafficBySize traffic_by_cluster_size(const Clustering& clustering,
+                                      std::span<const double> volume) {
+  if (volume.size() != clustering.cluster_of.size()) {
+    throw std::invalid_argument("volume size does not match source count");
+  }
+  const auto sizes = clustering.sizes();
+
+  // Volume per cluster, then aggregate by cluster size.
+  std::vector<double> cluster_volume(clustering.cluster_count, 0.0);
+  for (std::size_t s = 0; s < volume.size(); ++s) {
+    cluster_volume[clustering.cluster_of[s]] += volume[s];
+  }
+
+  std::vector<std::pair<std::uint64_t, double>> by_size;
+  by_size.reserve(clustering.cluster_count);
+  for (std::uint32_t c = 0; c < clustering.cluster_count; ++c) {
+    by_size.emplace_back(sizes[c], cluster_volume[c]);
+  }
+  std::sort(by_size.begin(), by_size.end());
+
+  TrafficBySize out;
+  double running = 0.0;
+  for (std::size_t i = 0; i < by_size.size(); ++i) {
+    running += by_size[i].second;
+    const bool last_of_size =
+        i + 1 == by_size.size() || by_size[i + 1].first != by_size[i].first;
+    if (last_of_size) {
+      out.cluster_size.push_back(by_size[i].first);
+      out.cumulative_volume.push_back(running);
+    }
+  }
+  return out;
+}
+
+AttributionResult attribute_clusters(
+    const measure::CatchmentMatrix& matrix, const Clustering& clustering,
+    const std::vector<std::vector<double>>& link_volume_per_config) {
+  if (matrix.size() != link_volume_per_config.size()) {
+    throw std::invalid_argument(
+        "one link-volume vector is required per configuration");
+  }
+  AttributionResult result;
+  result.score.assign(clustering.cluster_count,
+                      -std::numeric_limits<double>::infinity());
+  if (clustering.cluster_count == 0) return result;
+
+  // Representative source per cluster (all members share the trajectory by
+  // construction of the clustering).
+  std::vector<std::uint32_t> representative(clustering.cluster_count,
+                                            std::numeric_limits<std::uint32_t>::max());
+  for (std::uint32_t s = 0; s < clustering.cluster_of.size(); ++s) {
+    auto& rep = representative[clustering.cluster_of[s]];
+    if (rep == std::numeric_limits<std::uint32_t>::max()) rep = s;
+  }
+
+  constexpr double kEpsilon = 1e-6;
+  for (std::uint32_t c = 0; c < clustering.cluster_count; ++c) {
+    const std::uint32_t rep = representative[c];
+    double score = 0.0;
+    for (std::size_t k = 0; k < matrix.size(); ++k) {
+      const bgp::LinkId link = matrix[k][rep];
+      const auto& volumes = link_volume_per_config[k];
+      double observed = kEpsilon;
+      if (link != bgp::kNoCatchment && link < volumes.size()) {
+        observed += volumes[link];
+      }
+      score += std::log(observed);
+    }
+    result.score[c] = score;
+  }
+
+  result.ranking.resize(clustering.cluster_count);
+  std::iota(result.ranking.begin(), result.ranking.end(), 0u);
+  std::sort(result.ranking.begin(), result.ranking.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (result.score[a] != result.score[b]) {
+                return result.score[a] > result.score[b];
+              }
+              return a < b;
+            });
+  return result;
+}
+
+MixtureResult attribute_mixture(
+    const measure::CatchmentMatrix& matrix, const Clustering& clustering,
+    const std::vector<std::vector<double>>& link_volume_per_config,
+    double min_weight, std::size_t max_components,
+    double robustness_quantile) {
+  if (matrix.size() != link_volume_per_config.size()) {
+    throw std::invalid_argument(
+        "one link-volume vector is required per configuration");
+  }
+  MixtureResult result;
+  result.residual_fraction = 1.0;
+  if (clustering.cluster_count == 0 || matrix.empty()) return result;
+
+  // Representative source per cluster (members share the trajectory).
+  constexpr auto kNone = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> representative(clustering.cluster_count, kNone);
+  for (std::uint32_t s = 0; s < clustering.cluster_of.size(); ++s) {
+    auto& rep = representative[clustering.cluster_of[s]];
+    if (rep == kNone) rep = s;
+  }
+
+  // Normalise volumes so weights are fractions of the total per config.
+  auto residual = link_volume_per_config;
+  for (auto& per_link : residual) {
+    double total = 0.0;
+    for (double v : per_link) total += v;
+    if (total > 0.0) {
+      for (double& v : per_link) v /= total;
+    }
+  }
+
+  // Consistent weight of one cluster against the residual: a robust low
+  // quantile of the residual volume along the cluster's trajectory.
+  std::vector<double> along_trajectory;
+  auto weight_of = [&](std::uint32_t cluster) {
+    const std::uint32_t rep = representative[cluster];
+    along_trajectory.clear();
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
+      const bgp::LinkId link = matrix[c][rep];
+      along_trajectory.push_back(
+          (link != bgp::kNoCatchment && link < residual[c].size())
+              ? residual[c][link]
+              : 0.0);
+    }
+    if (along_trajectory.empty()) return 0.0;
+    return util::percentile(along_trajectory,
+                            robustness_quantile * 100.0);
+  };
+
+  std::vector<bool> used(clustering.cluster_count, false);
+  while (result.components.size() < max_components) {
+    std::uint32_t best_cluster = kNone;
+    double best_weight = 0.0;
+    for (std::uint32_t k = 0; k < clustering.cluster_count; ++k) {
+      if (used[k] || representative[k] == kNone) continue;
+      const double w = weight_of(k);
+      if (w > best_weight) {
+        best_weight = w;
+        best_cluster = k;
+      }
+    }
+    if (best_cluster == kNone || best_weight < min_weight) break;
+
+    used[best_cluster] = true;
+    result.components.push_back({best_cluster, best_weight});
+    const std::uint32_t rep = representative[best_cluster];
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
+      const bgp::LinkId link = matrix[c][rep];
+      if (link != bgp::kNoCatchment && link < residual[c].size()) {
+        residual[c][link] = std::max(0.0, residual[c][link] - best_weight);
+      }
+    }
+    result.residual_fraction -= best_weight;
+  }
+  result.residual_fraction = std::max(0.0, result.residual_fraction);
+  return result;
+}
+
+}  // namespace spooftrack::core

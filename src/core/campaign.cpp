@@ -1,0 +1,39 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+
+#include "util/table.hpp"
+
+namespace spooftrack::core {
+
+double CampaignModel::total_minutes(std::size_t configs) const noexcept {
+  if (configs == 0 || concurrent_prefixes == 0) return 0.0;
+  const auto batches = static_cast<double>(
+      (configs + concurrent_prefixes - 1) / concurrent_prefixes);
+  return batches * minutes_per_config;
+}
+
+std::uint32_t CampaignModel::prefixes_for_deadline(
+    std::size_t configs, double budget_days) const noexcept {
+  if (configs == 0) return 1;
+  if (budget_days <= 0.0 || minutes_per_config <= 0.0) return 0;
+  const double budget_minutes = budget_days * 24.0 * 60.0;
+  const double batches = std::floor(budget_minutes / minutes_per_config);
+  if (batches < 1.0) return 0;  // even one batch does not fit
+  const double prefixes =
+      std::ceil(static_cast<double>(configs) / batches);
+  return static_cast<std::uint32_t>(prefixes);
+}
+
+std::string CampaignModel::describe(std::size_t configs) const {
+  std::string out;
+  out += std::to_string(configs) + " configs x " +
+         util::fmt_double(minutes_per_config, 0) + " min";
+  if (concurrent_prefixes > 1) {
+    out += " / " + std::to_string(concurrent_prefixes) + " prefixes";
+  }
+  out += " = " + util::fmt_double(total_days(configs), 1) + " days";
+  return out;
+}
+
+}  // namespace spooftrack::core

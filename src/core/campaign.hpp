@@ -1,0 +1,49 @@
+// Measurement-campaign time model (§IV-a, §V-C).
+//
+// The paper keeps each announcement configuration active for 70 minutes:
+// BGP convergence (under 2.5 minutes 99% of the time, per LIFEGUARD) plus
+// enough time for three traceroute rounds at the RIPE Atlas 20-minute
+// cadence. Deploying 705 configurations therefore takes weeks — unless the
+// origin splits the plan across multiple experiment prefixes announced
+// concurrently (§V-C), trading IPv4 space for wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spooftrack::core {
+
+struct CampaignModel {
+  /// Minutes each configuration stays deployed.
+  double minutes_per_config = 70.0;
+  /// Of which: worst-case convergence wait before measuring.
+  double convergence_minutes = 2.5;
+  /// Traceroute rounds per configuration and their cadence.
+  std::uint32_t traceroute_rounds = 3;
+  double traceroute_cadence_minutes = 20.0;
+  /// Concurrently announced experiment prefixes (1 = the paper's setup).
+  std::uint32_t concurrent_prefixes = 1;
+
+  /// Whether the dwell time actually fits the measurement schedule.
+  bool feasible() const noexcept {
+    return minutes_per_config >=
+           convergence_minutes +
+               traceroute_rounds * traceroute_cadence_minutes;
+  }
+
+  /// Total wall-clock minutes to deploy `configs` configurations.
+  double total_minutes(std::size_t configs) const noexcept;
+  double total_days(std::size_t configs) const noexcept {
+    return total_minutes(configs) / (60.0 * 24.0);
+  }
+
+  /// Prefixes needed to finish `configs` configurations within
+  /// `budget_days`; 0 when even infinite parallelism cannot help
+  /// (degenerate inputs).
+  std::uint32_t prefixes_for_deadline(std::size_t configs,
+                                      double budget_days) const noexcept;
+
+  std::string describe(std::size_t configs) const;
+};
+
+}  // namespace spooftrack::core

@@ -1,0 +1,81 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spooftrack::core {
+
+namespace {
+// Catchment values are folded into 6 bits per refine step; links beyond 62
+// would alias, so we cap supported link counts well above any deployment.
+constexpr std::uint32_t kSlotBits = 6;
+constexpr std::uint32_t kSlots = 1u << kSlotBits;  // 64
+constexpr std::uint32_t kMissingSlot = kSlots - 1;
+}  // namespace
+
+std::vector<std::uint32_t> Clustering::sizes() const {
+  std::vector<std::uint32_t> out(cluster_count, 0);
+  for (std::uint32_t c : cluster_of) ++out[c];
+  return out;
+}
+
+double Clustering::mean_size() const noexcept {
+  if (cluster_count == 0) return 0.0;
+  return static_cast<double>(cluster_of.size()) /
+         static_cast<double>(cluster_count);
+}
+
+std::vector<std::vector<std::uint32_t>> Clustering::members() const {
+  std::vector<std::vector<std::uint32_t>> out(cluster_count);
+  for (std::uint32_t s = 0; s < cluster_of.size(); ++s) {
+    out[cluster_of[s]].push_back(s);
+  }
+  return out;
+}
+
+ClusterTracker::ClusterTracker(std::size_t source_count) {
+  clustering_.cluster_of.assign(source_count, 0);
+  clustering_.cluster_count = source_count == 0 ? 0 : 1;
+  // Epoch-stamped remap table: avoids clearing between refines.
+  keys_.assign(source_count * kSlots, 0);    // epoch per (cluster, slot)
+  order_.assign(source_count * kSlots, 0);   // new id per (cluster, slot)
+  epoch_ = 0;
+}
+
+std::uint32_t ClusterTracker::refine(
+    std::span<const bgp::LinkId> catchment_row) {
+  auto& cluster_of = clustering_.cluster_of;
+  if (catchment_row.size() != cluster_of.size()) {
+    throw std::invalid_argument(
+        "catchment row size does not match source count");
+  }
+  if (cluster_of.empty()) return 0;
+
+  ++epoch_;
+  std::uint32_t next_id = 0;
+  for (std::uint32_t s = 0; s < cluster_of.size(); ++s) {
+    const bgp::LinkId link = catchment_row[s];
+    const std::uint32_t slot =
+        link == bgp::kNoCatchment
+            ? kMissingSlot
+            : std::min<std::uint32_t>(link, kMissingSlot - 1);
+    const std::size_t key = std::size_t{cluster_of[s]} * kSlots + slot;
+    if (keys_[key] != epoch_) {
+      keys_[key] = epoch_;
+      order_[key] = next_id++;
+    }
+    cluster_of[s] = order_[key];
+  }
+  clustering_.cluster_count = next_id;
+  return next_id;
+}
+
+Clustering cluster_sources(
+    const std::vector<std::vector<bgp::LinkId>>& matrix) {
+  if (matrix.empty()) return Clustering{};
+  ClusterTracker tracker(matrix[0].size());
+  for (const auto& row : matrix) tracker.refine(row);
+  return tracker.current();
+}
+
+}  // namespace spooftrack::core

@@ -1,0 +1,69 @@
+// Cluster computation (§III-B): a cluster is a set of sources that share a
+// catchment in *every* deployed announcement configuration. Starting from
+// one all-encompassing cluster, each configuration's catchments split any
+// cluster they partially overlap.
+//
+// The implementation refines incrementally: after k configurations a
+// source's cluster is identified by the tuple of its first k catchments,
+// tracked as a dense cluster id that is re-bucketed per configuration in
+// O(sources) — cheap enough for the thousands of random schedules of
+// Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/catchment.hpp"
+
+namespace spooftrack::core {
+
+/// A partition of sources into clusters.
+struct Clustering {
+  /// Dense cluster id per source index.
+  std::vector<std::uint32_t> cluster_of;
+  std::uint32_t cluster_count = 0;
+
+  std::size_t source_count() const noexcept { return cluster_of.size(); }
+  /// Size of each cluster, indexed by cluster id.
+  std::vector<std::uint32_t> sizes() const;
+  double mean_size() const noexcept;
+  /// Members (source indices) of each cluster.
+  std::vector<std::vector<std::uint32_t>> members() const;
+};
+
+/// Incremental cluster refinement.
+class ClusterTracker {
+ public:
+  /// All sources start in a single cluster.
+  explicit ClusterTracker(std::size_t source_count);
+
+  /// Refines with one configuration's catchment per source. Unresolved
+  /// cells (bgp::kNoCatchment) are treated as a distinct catchment value —
+  /// a conservative split. Returns the new cluster count.
+  std::uint32_t refine(std::span<const bgp::LinkId> catchment_row);
+
+  const Clustering& current() const noexcept { return clustering_; }
+  std::uint32_t cluster_count() const noexcept {
+    return clustering_.cluster_count;
+  }
+  double mean_cluster_size() const noexcept {
+    return clustering_.mean_size();
+  }
+
+ private:
+  Clustering clustering_;
+  // Epoch-stamped scratch tables reused across refine() calls: keys_ holds
+  // the epoch a (cluster, catchment) bucket was last touched, order_ the
+  // dense id assigned to it in that epoch.
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> order_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Convenience: refine with every row of a catchment matrix
+/// (rows = configurations, columns = sources).
+Clustering cluster_sources(
+    const std::vector<std::vector<bgp::LinkId>>& matrix);
+
+}  // namespace spooftrack::core

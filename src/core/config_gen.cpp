@@ -1,0 +1,221 @@
+#include "core/config_gen.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace spooftrack::core {
+
+namespace {
+
+std::string links_label(const std::vector<std::uint32_t>& links) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (i != 0) out += ',';
+    out += 'l' + std::to_string(links[i]);
+  }
+  out += '}';
+  return out;
+}
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> combinations(std::uint32_t n,
+                                                     std::uint32_t k) {
+  std::vector<std::vector<std::uint32_t>> out;
+  if (k > n) return out;
+  std::vector<std::uint32_t> current(k);
+  for (std::uint32_t i = 0; i < k; ++i) current[i] = i;
+  while (true) {
+    out.push_back(current);
+    // Advance to the next lexicographic combination.
+    std::int64_t pos = static_cast<std::int64_t>(k) - 1;
+    while (pos >= 0 && current[pos] == n - k + pos) --pos;
+    if (pos < 0) break;
+    ++current[pos];
+    for (std::uint32_t i = static_cast<std::uint32_t>(pos) + 1; i < k; ++i) {
+      current[i] = current[i - 1] + 1;
+    }
+  }
+  return out;
+}
+
+ConfigGenerator::ConfigGenerator(const bgp::OriginSpec& origin,
+                                 GeneratorOptions options)
+    : origin_(origin), options_(options) {
+  if (origin_.links.empty()) {
+    throw std::invalid_argument("origin has no peering links");
+  }
+  if (options_.max_removals >= origin_.links.size()) {
+    throw std::invalid_argument(
+        "max_removals must be smaller than the number of links");
+  }
+}
+
+std::vector<bgp::Configuration> ConfigGenerator::location_phase() const {
+  const auto total = static_cast<std::uint32_t>(origin_.links.size());
+  std::vector<bgp::Configuration> configs;
+  for (std::uint32_t removed = 0; removed <= options_.max_removals;
+       ++removed) {
+    for (const auto& subset : combinations(total, total - removed)) {
+      bgp::Configuration config;
+      config.label = "loc " + links_label(subset);
+      for (std::uint32_t link : subset) {
+        config.announcements.push_back({link, 0, {}, {}});
+      }
+      configs.push_back(std::move(config));
+    }
+  }
+  return configs;
+}
+
+std::vector<bgp::Configuration> ConfigGenerator::prepend_phase(
+    const std::vector<bgp::Configuration>& bases) const {
+  std::vector<bgp::Configuration> configs;
+  for (const auto& base : bases) {
+    const auto active = static_cast<std::uint32_t>(base.announcements.size());
+    for (std::uint32_t set_size = 1;
+         set_size <= std::min(options_.max_prepend_set, active); ++set_size) {
+      for (const auto& subset : combinations(active, set_size)) {
+        bgp::Configuration config = base;
+        std::vector<std::uint32_t> prepended_links;
+        for (std::uint32_t index : subset) {
+          config.announcements[index].prepend = options_.prepend_count;
+          prepended_links.push_back(config.announcements[index].link);
+        }
+        config.label = base.label + " prep " + links_label(prepended_links);
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  return configs;
+}
+
+namespace {
+
+/// Steering targets per link: neighbors of the link's provider, excluding
+/// the origin and the other link providers (shared by the poisoning and
+/// community phases — both move traffic off first-hop links).
+std::vector<std::vector<topology::Asn>> steering_targets(
+    const bgp::OriginSpec& origin, const topology::AsGraph& graph) {
+  std::set<topology::Asn> excluded{origin.asn};
+  for (const auto& link : origin.links) excluded.insert(link.provider);
+
+  std::vector<std::vector<topology::Asn>> targets(origin.links.size());
+  for (const auto& link : origin.links) {
+    const auto provider_id = graph.id_of(link.provider);
+    if (!provider_id) {
+      throw std::invalid_argument("link provider AS " +
+                                  std::to_string(link.provider) +
+                                  " not present in topology");
+    }
+    for (const topology::Neighbor& n : graph.neighbors(*provider_id)) {
+      const topology::Asn asn = graph.asn_of(n.id);
+      if (!excluded.contains(asn)) targets[link.id].push_back(asn);
+    }
+    std::sort(targets[link.id].begin(), targets[link.id].end());
+  }
+  return targets;
+}
+
+/// Round-robin across links so capping keeps balanced coverage;
+/// `make_config(link, target)` builds each configuration.
+template <typename MakeConfig>
+std::vector<bgp::Configuration> round_robin_targets(
+    const std::vector<std::vector<topology::Asn>>& targets, std::size_t cap,
+    MakeConfig&& make_config) {
+  std::vector<bgp::Configuration> configs;
+  std::vector<std::size_t> cursor(targets.size(), 0);
+  bool progressed = true;
+  while (progressed && configs.size() < cap) {
+    progressed = false;
+    for (std::size_t l = 0; l < targets.size() && configs.size() < cap; ++l) {
+      if (cursor[l] >= targets[l].size()) continue;
+      const topology::Asn target = targets[l][cursor[l]++];
+      progressed = true;
+      configs.push_back(make_config(l, target));
+    }
+  }
+  return configs;
+}
+
+}  // namespace
+
+std::vector<bgp::Configuration> ConfigGenerator::poison_phase(
+    const topology::AsGraph& graph) const {
+  return round_robin_targets(
+      steering_targets(origin_, graph), options_.max_poison_configs,
+      [&](std::size_t l, topology::Asn target) {
+        bgp::Configuration config;
+        config.label =
+            "poison l" + std::to_string(l) + " AS" + std::to_string(target);
+        for (const auto& link : origin_.links) {
+          bgp::AnnouncementSpec spec{link.id, 0, {}, {}};
+          if (link.id == l) spec.poisoned.push_back(target);
+          config.announcements.push_back(std::move(spec));
+        }
+        return config;
+      });
+}
+
+std::vector<bgp::Configuration> ConfigGenerator::community_phase(
+    const topology::AsGraph& graph) const {
+  return round_robin_targets(
+      steering_targets(origin_, graph), options_.max_community_configs,
+      [&](std::size_t l, topology::Asn target) {
+        bgp::Configuration config;
+        config.label =
+            "no-export l" + std::to_string(l) + " AS" + std::to_string(target);
+        for (const auto& link : origin_.links) {
+          bgp::AnnouncementSpec spec{link.id, 0, {}, {}};
+          if (link.id == l) spec.no_export_to.push_back(target);
+          config.announcements.push_back(std::move(spec));
+        }
+        return config;
+      });
+}
+
+std::vector<bgp::Configuration> ConfigGenerator::full_plan(
+    const topology::AsGraph& graph) const {
+  auto plan = location_phase();
+  const auto prepends = prepend_phase(plan);
+  plan.insert(plan.end(), prepends.begin(), prepends.end());
+  const auto poisons = poison_phase(graph);
+  plan.insert(plan.end(), poisons.begin(), poisons.end());
+  if (options_.max_community_configs > 0) {
+    const auto communities = community_phase(graph);
+    plan.insert(plan.end(), communities.begin(), communities.end());
+  }
+  return plan;
+}
+
+std::size_t ConfigGenerator::location_phase_size(std::size_t links,
+                                                 std::uint32_t removals) {
+  std::size_t total = 0;
+  for (std::uint32_t x = 0; x <= removals; ++x) {
+    total += binomial(links, links - x);
+  }
+  return total;
+}
+
+std::size_t ConfigGenerator::location_and_prepend_size(
+    std::size_t links, std::uint32_t removals) {
+  std::size_t total = 0;
+  for (std::uint32_t x = 0; x <= removals; ++x) {
+    total += binomial(links, links - x) * (1 + (links - x));
+  }
+  return total;
+}
+
+}  // namespace spooftrack::core

@@ -1,0 +1,243 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "topology/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace spooftrack::core {
+
+namespace {
+
+constexpr MuxInfo kTable1[] = {
+    {"AMS-IX", "Bit BV", 12859},
+    {"GRNet", "GRNet", 5408},
+    {"USC/ISI", "Los Nettos", 226},
+    {"NEU", "Northeastern University", 156},
+    {"Seattle-IX", "RGnet", 3130},
+    {"UFMG", "RNP", 1916},
+    {"UW", "Pacific Northwest GigaPoP", 101},
+};
+
+topology::SynthTopology build_topology(const TestbedConfig& config) {
+  topology::SynthConfig synth;
+  synth.seed = config.seed;
+  synth.tier1_count = config.tier1_count;
+  synth.transit_count = config.transit_count;
+  synth.stub_count = config.stub_count;
+  synth.transit_extra_providers = config.transit_extra_providers;
+  synth.stub_extra_providers = config.stub_extra_providers;
+  synth.transit_peering_prob = config.transit_peering_prob;
+  synth.stub_tier1_provider_prob = config.stub_tier1_provider_prob;
+  synth.reserved_attract_bonus = config.provider_attract_bonus;
+  synth.reserved_position_fraction = config.provider_position_fraction;
+  synth.origin_asn = kPeeringAsn;
+  for (const MuxInfo& mux : kTable1) {
+    synth.reserved_transit_asns.push_back(mux.provider_asn);
+  }
+  return topology::synthesize(synth);
+}
+
+bgp::OriginSpec build_origin() {
+  bgp::OriginSpec origin;
+  origin.asn = kPeeringAsn;
+  bgp::LinkId id = 0;
+  for (const MuxInfo& mux : kTable1) {
+    origin.links.push_back({id++, mux.mux, mux.provider_asn});
+  }
+  return origin;
+}
+
+bgp::PolicyConfig patched_policy(const TestbedConfig& config) {
+  bgp::PolicyConfig p = config.policy;
+  p.seed = util::hash_combine(config.seed, p.seed);
+  return p;
+}
+
+measure::TracerouteOptions patched_traceroute(const TestbedConfig& config) {
+  measure::TracerouteOptions t = config.traceroute;
+  t.seed = util::hash_combine(config.seed, t.seed);
+  return t;
+}
+
+}  // namespace
+
+std::span<const MuxInfo> table1_muxes() noexcept { return kTable1; }
+
+PeeringTestbed::PeeringTestbed(TestbedConfig config)
+    : config_(config),
+      topo_(build_topology(config_)),
+      origin_(build_origin()),
+      policy_(topo_.graph, patched_policy(config_)),
+      engine_(topo_.graph, policy_, config_.engine),
+      plan_(topo_.graph),
+      ixps_(topo_.graph, config_.ixp_count, config_.ixp_edge_fraction,
+            util::hash_combine(config_.seed, 0x1A9)),
+      ip2as_(measure::Ip2AsMap::from_plan(
+          topo_.graph, plan_, kPeeringAsn,
+          {config_.ip2as.missing_fraction,
+           util::hash_combine(config_.seed, config_.ip2as.seed)})),
+      feeds_(topo_.graph,
+             {config_.feed.peer_count, config_.feed.large_cone_bias,
+              util::hash_combine(config_.seed, config_.feed.seed)}),
+      tracer_(topo_.graph, plan_, ixps_, patched_traceroute(config_)),
+      repair_(topo_.graph, ip2as_, ixps_, kPeeringAsn),
+      inference_(topo_.graph, origin_) {
+  const auto id = topo_.graph.id_of(kPeeringAsn);
+  if (!id) throw std::logic_error("origin missing from topology");
+  origin_id_ = *id;
+
+  // RIPE Atlas probes: distinct ASes, 80% stubs / 20% transit.
+  util::Rng rng{util::hash_combine(config_.seed, 0x9806E5ULL)};
+  std::unordered_set<topology::AsId> chosen;
+  const std::uint32_t want = std::min<std::uint32_t>(
+      config_.probe_count,
+      static_cast<std::uint32_t>(topo_.graph.size() - 1));
+  std::size_t attempts = 0;
+  while (chosen.size() < want && attempts < std::size_t{want} * 20) {
+    ++attempts;
+    const bool stub = !topo_.stubs.empty() && rng.uniform01() < 0.8;
+    const auto& pool = stub || topo_.transit.empty()
+                           ? topo_.stubs
+                           : topo_.transit;
+    if (pool.empty()) break;
+    const topology::Asn asn = pool[rng.next_below(pool.size())];
+    const auto probe_id = topo_.graph.id_of(asn);
+    if (probe_id && *probe_id != origin_id_) chosen.insert(*probe_id);
+  }
+  probes_.assign(chosen.begin(), chosen.end());
+  std::sort(probes_.begin(), probes_.end());
+}
+
+bgp::RoutingOutcome PeeringTestbed::route(
+    const bgp::Configuration& config) const {
+  bgp::RoutingOutcome outcome = engine_.run(origin_, config);
+  if (!outcome.converged) {
+    throw std::runtime_error("routing did not converge for configuration '" +
+                             config.label + "'");
+  }
+  return outcome;
+}
+
+namespace {
+
+/// Collapsed AS-hop distance to the origin along a route's AS-path:
+/// consecutive duplicates (prepending) collapse, and counting stops at the
+/// first origin occurrence (ignoring the poison sandwich).
+std::uint32_t collapsed_distance(const std::vector<topology::Asn>& path,
+                                 topology::Asn origin_asn) {
+  std::uint32_t count = 0;
+  topology::Asn prev = 0;
+  for (topology::Asn asn : path) {
+    if (asn == prev) continue;
+    ++count;
+    prev = asn;
+    if (asn == origin_asn) break;
+  }
+  return count;
+}
+
+}  // namespace
+
+DeploymentResult PeeringTestbed::deploy(
+    std::vector<bgp::Configuration> configs) const {
+  DeploymentResult result;
+  result.configs = std::move(configs);
+  const std::size_t n = result.configs.size();
+  const std::size_t as_count = topo_.graph.size();
+
+  result.truth.resize(n);
+  result.engine_rounds.assign(n, 0);
+  if (config_.measured_catchments) result.measured.resize(n);
+  if (config_.audit_policies) result.compliance.resize(n);
+
+  // Per-config distance rows, min-reduced after the parallel section.
+  std::vector<std::vector<std::uint32_t>> distance_rows(n);
+
+  util::parallel_for(n, [&](std::size_t i) {
+    const bgp::Configuration& config = result.configs[i];
+    bgp::RoutingOutcome outcome = engine_.run(origin_, config);
+    if (!outcome.converged) {
+      throw std::runtime_error("routing did not converge for '" +
+                               config.label + "'");
+    }
+    result.engine_rounds[i] = outcome.rounds;
+    result.truth[i] = bgp::extract_catchments(outcome, config);
+
+    auto& distances = distance_rows[i];
+    distances.assign(as_count, topology::kUnreachable);
+    for (topology::AsId id = 0; id < as_count; ++id) {
+      const bgp::Route& route = outcome.best[id];
+      if (route.valid()) {
+        distances[id] = collapsed_distance(route.as_path, origin_.asn);
+      }
+    }
+
+    if (config_.audit_policies) {
+      result.compliance[i] =
+          audit_compliance(engine_, origin_, config, outcome);
+    }
+
+    if (config_.measured_catchments) {
+      const auto feed_entries = feeds_.collect(outcome);
+      std::vector<measure::Traceroute> traces;
+      traces.reserve(probes_.size() * config_.traceroute_rounds);
+      for (topology::AsId probe : probes_) {
+        for (std::uint32_t round = 0; round < config_.traceroute_rounds;
+             ++round) {
+          traces.push_back(tracer_.run(
+              outcome, probe, origin_id_,
+              util::hash_combine(i, round)));
+        }
+      }
+      const auto paths = repair_.repair(traces, feed_entries);
+      result.measured[i] = inference_.infer(feed_entries, paths);
+    }
+  });
+
+  // Distance: minimum across configurations.
+  result.min_route_distance.assign(as_count, topology::kUnreachable);
+  for (const auto& row : distance_rows) {
+    for (topology::AsId id = 0; id < as_count; ++id) {
+      result.min_route_distance[id] =
+          std::min(result.min_route_distance[id], row[id]);
+    }
+  }
+
+  // Analysis sources (§IV-d) and the catchment matrix.
+  if (config_.measured_catchments) {
+    if (!result.measured.empty()) {
+      result.sources = measure::baseline_sources(result.measured[0]);
+      result.matrix = measure::build_matrix(result.measured, result.sources);
+      double multi = 0.0;
+      double coverage = 0.0;
+      for (const auto& inferred : result.measured) {
+        multi += inferred.multi_catchment_fraction;
+        coverage += static_cast<double>(inferred.covered_count);
+      }
+      result.mean_multi_catchment = multi / static_cast<double>(n);
+      result.mean_coverage = coverage / static_cast<double>(n);
+    }
+  } else if (!result.truth.empty()) {
+    // Ground truth: sources are the ASes routed in the first configuration
+    // (excluding the origin itself).
+    for (topology::AsId id = 0; id < as_count; ++id) {
+      if (id != origin_id_ && result.truth[0].link_of[id] != bgp::kNoCatchment) {
+        result.sources.push_back(id);
+      }
+    }
+    result.matrix.assign(n, std::vector<bgp::LinkId>(result.sources.size(),
+                                                     bgp::kNoCatchment));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t s = 0; s < result.sources.size(); ++s) {
+        result.matrix[i][s] = result.truth[i].link_of[result.sources[s]];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spooftrack::core

@@ -1,0 +1,48 @@
+#include "core/hijack.hpp"
+
+#include <stdexcept>
+
+namespace spooftrack::core {
+
+std::vector<HijackScenario> hijack_coverage(
+    const bgp::CatchmentMap& map, const bgp::Configuration& config) {
+  const std::size_t n = config.announcements.size();
+  if (n == 0 || n > 20) {
+    throw std::invalid_argument("hijack coverage needs 1..20 announcements");
+  }
+
+  // Routed ASes per announcement index.
+  std::vector<std::uint64_t> per_announcement(n, 0);
+  std::uint64_t routed = 0;
+  for (bgp::LinkId link : map.link_of) {
+    if (link == bgp::kNoCatchment) continue;
+    ++routed;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (config.announcements[a].link == link) {
+        ++per_announcement[a];
+        break;
+      }
+    }
+  }
+
+  std::vector<HijackScenario> scenarios;
+  if (routed == 0) return scenarios;
+  const auto total = static_cast<double>(routed);
+  const std::uint32_t masks = 1u << n;
+  for (std::uint32_t mask = 1; mask + 1 < masks; ++mask) {
+    HijackScenario scenario;
+    scenario.hijacker_mask = mask;
+    std::uint64_t captured = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (mask & (1u << a)) {
+        ++scenario.hijacker_announcements;
+        captured += per_announcement[a];
+      }
+    }
+    scenario.captured_fraction = static_cast<double>(captured) / total;
+    scenarios.push_back(scenario);
+  }
+  return scenarios;
+}
+
+}  // namespace spooftrack::core

@@ -1,0 +1,29 @@
+// Hijack-scenario coverage (§VI): a configuration announcing from n
+// locations doubles as 2^n prefix-hijack experiments — each subset of the
+// locations can be read as "the hijacker's sites", with the catchments
+// telling how much of the Internet the hijacker would capture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/catchment.hpp"
+
+namespace spooftrack::core {
+
+struct HijackScenario {
+  /// Bit i set = announcement i (by index in the configuration) belongs to
+  /// the hijacker.
+  std::uint32_t hijacker_mask = 0;
+  std::uint32_t hijacker_announcements = 0;
+  /// Fraction of routed ASes whose traffic the hijacker captures.
+  double captured_fraction = 0.0;
+};
+
+/// Enumerates every hijacker/legitimate split of a configuration's
+/// announcements (masks 1 .. 2^n-2; all-hijacker and all-legitimate are
+/// degenerate) and scores the captured fraction from the catchments.
+std::vector<HijackScenario> hijack_coverage(const bgp::CatchmentMap& map,
+                                            const bgp::Configuration& config);
+
+}  // namespace spooftrack::core

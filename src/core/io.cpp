@@ -1,0 +1,254 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <type_traits>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace spooftrack::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53504F4F'46415254ULL;  // "SPOOFART"
+constexpr std::uint32_t kVersion = 1;
+
+// ---- primitive writers/readers (little-endian native; the artifact is a
+// local cache format, not a wire format) ----------------------------------
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("artifact truncated");
+  return value;
+}
+
+void put_string(std::ostream& out, const std::string& text) {
+  put<std::uint64_t>(out, text.size());
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+std::string get_string(std::istream& in) {
+  const auto size = get<std::uint64_t>(in);
+  if (size > (std::uint64_t{1} << 30)) {
+    throw std::runtime_error("artifact string too large");
+  }
+  std::string text(size, '\0');
+  in.read(text.data(), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("artifact truncated");
+  return text;
+}
+
+template <typename T>
+void put_pod_vector(std::ostream& out, const std::vector<T>& items) {
+  put<std::uint64_t>(out, items.size());
+  for (const T& item : items) put(out, item);
+}
+
+template <typename T>
+std::vector<T> get_pod_vector(std::istream& in, std::uint64_t cap) {
+  const auto size = get<std::uint64_t>(in);
+  if (size > cap) throw std::runtime_error("artifact vector too large");
+  std::vector<T> items(size);
+  for (T& item : items) item = get<T>(in);
+  return items;
+}
+
+constexpr std::uint64_t kSaneCap = 1u << 26;  // 64M elements
+
+void put_spec(std::ostream& out, const bgp::AnnouncementSpec& spec) {
+  put(out, spec.link);
+  put(out, spec.prepend);
+  put_pod_vector(out, spec.poisoned);
+  put_pod_vector(out, spec.no_export_to);
+}
+
+bgp::AnnouncementSpec get_spec(std::istream& in) {
+  bgp::AnnouncementSpec spec;
+  spec.link = get<bgp::LinkId>(in);
+  spec.prepend = get<std::uint32_t>(in);
+  spec.poisoned = get_pod_vector<topology::Asn>(in, kSaneCap);
+  spec.no_export_to = get_pod_vector<topology::Asn>(in, kSaneCap);
+  return spec;
+}
+
+}  // namespace
+
+std::uint64_t DeploymentArtifact::annotation(const std::string& key,
+                                             std::uint64_t fallback) const {
+  for (const auto& [name, value] : annotations) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+void DeploymentArtifact::annotate(const std::string& key,
+                                  std::uint64_t value) {
+  for (auto& [name, stored] : annotations) {
+    if (name == key) {
+      stored = value;
+      return;
+    }
+  }
+  annotations.emplace_back(key, value);
+}
+
+DeploymentArtifact make_artifact(const DeploymentResult& result,
+                                 std::uint64_t seed, std::size_t as_count,
+                                 std::size_t link_count) {
+  DeploymentArtifact artifact;
+  artifact.seed = seed;
+  artifact.as_count = as_count;
+  artifact.link_count = link_count;
+  artifact.configs = result.configs;
+  artifact.sources = result.sources;
+  artifact.matrix = result.matrix;
+  artifact.compliance = result.compliance;
+  artifact.mean_multi_catchment = result.mean_multi_catchment;
+  artifact.mean_coverage = result.mean_coverage;
+  artifact.source_distance.reserve(result.sources.size());
+  for (topology::AsId source : result.sources) {
+    artifact.source_distance.push_back(result.min_route_distance[source]);
+  }
+  return artifact;
+}
+
+void save_artifact(const DeploymentArtifact& artifact, std::ostream& out) {
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, artifact.seed);
+  put<std::uint64_t>(out, artifact.as_count);
+  put<std::uint64_t>(out, artifact.link_count);
+  put(out, artifact.mean_multi_catchment);
+  put(out, artifact.mean_coverage);
+
+  put<std::uint64_t>(out, artifact.annotations.size());
+  for (const auto& [key, value] : artifact.annotations) {
+    put_string(out, key);
+    put(out, value);
+  }
+
+  put<std::uint64_t>(out, artifact.configs.size());
+  for (const auto& config : artifact.configs) {
+    put_string(out, config.label);
+    put<std::uint64_t>(out, config.announcements.size());
+    for (const auto& spec : config.announcements) put_spec(out, spec);
+  }
+
+  put_pod_vector(out, artifact.sources);
+  put_pod_vector(out, artifact.source_distance);
+
+  put<std::uint64_t>(out, artifact.compliance.size());
+  for (const auto& stats : artifact.compliance) {
+    put<std::uint64_t>(out, stats.audited);
+    put<std::uint64_t>(out, stats.best_relationship);
+    put<std::uint64_t>(out, stats.both_criteria);
+  }
+
+  // Matrix cells as bytes (link ids are tiny; 0xFF = no catchment).
+  put<std::uint64_t>(out, artifact.matrix.size());
+  put<std::uint64_t>(out,
+                     artifact.matrix.empty() ? 0 : artifact.matrix[0].size());
+  for (const auto& row : artifact.matrix) {
+    for (bgp::LinkId link : row) {
+      put<std::uint8_t>(out, link == bgp::kNoCatchment
+                                 ? 0xFF
+                                 : static_cast<std::uint8_t>(link));
+    }
+  }
+  if (!out) throw std::runtime_error("artifact write failed");
+}
+
+DeploymentArtifact load_artifact(std::istream& in) {
+  if (get<std::uint64_t>(in) != kMagic) {
+    throw std::runtime_error("not a spooftrack artifact");
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("unsupported artifact version");
+  }
+
+  DeploymentArtifact artifact;
+  artifact.seed = get<std::uint64_t>(in);
+  artifact.as_count = get<std::uint64_t>(in);
+  artifact.link_count = get<std::uint64_t>(in);
+  artifact.mean_multi_catchment = get<double>(in);
+  artifact.mean_coverage = get<double>(in);
+
+  const auto annotation_count = get<std::uint64_t>(in);
+  if (annotation_count > 4096) {
+    throw std::runtime_error("artifact has too many annotations");
+  }
+  for (std::uint64_t i = 0; i < annotation_count; ++i) {
+    std::string key = get_string(in);
+    const auto value = get<std::uint64_t>(in);
+    artifact.annotations.emplace_back(std::move(key), value);
+  }
+
+  const auto config_count = get<std::uint64_t>(in);
+  if (config_count > kSaneCap) {
+    throw std::runtime_error("artifact has too many configurations");
+  }
+  artifact.configs.resize(config_count);
+  for (auto& config : artifact.configs) {
+    config.label = get_string(in);
+    const auto spec_count = get<std::uint64_t>(in);
+    if (spec_count > 4096) {
+      throw std::runtime_error("configuration has too many announcements");
+    }
+    config.announcements.reserve(spec_count);
+    for (std::uint64_t i = 0; i < spec_count; ++i) {
+      config.announcements.push_back(get_spec(in));
+    }
+  }
+
+  artifact.sources = get_pod_vector<topology::AsId>(in, kSaneCap);
+  artifact.source_distance = get_pod_vector<std::uint32_t>(in, kSaneCap);
+
+  const auto compliance_count = get<std::uint64_t>(in);
+  if (compliance_count > kSaneCap) {
+    throw std::runtime_error("artifact has too many compliance entries");
+  }
+  artifact.compliance.resize(compliance_count);
+  for (auto& stats : artifact.compliance) {
+    stats.audited = get<std::uint64_t>(in);
+    stats.best_relationship = get<std::uint64_t>(in);
+    stats.both_criteria = get<std::uint64_t>(in);
+  }
+
+  const auto rows = get<std::uint64_t>(in);
+  const auto cols = get<std::uint64_t>(in);
+  if (rows > kSaneCap || cols > kSaneCap || rows * cols > kSaneCap * 8) {
+    throw std::runtime_error("artifact matrix too large");
+  }
+  artifact.matrix.assign(rows, std::vector<bgp::LinkId>(cols));
+  for (auto& row : artifact.matrix) {
+    for (auto& cell : row) {
+      const auto byte = get<std::uint8_t>(in);
+      cell = byte == 0xFF ? bgp::kNoCatchment : byte;
+    }
+  }
+  return artifact;
+}
+
+void save_artifact_file(const DeploymentArtifact& artifact,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_artifact(artifact, out);
+}
+
+DeploymentArtifact load_artifact_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open artifact: " + path);
+  return load_artifact(in);
+}
+
+}  // namespace spooftrack::core

@@ -1,0 +1,84 @@
+#include "core/mitigation.hpp"
+
+#include <algorithm>
+
+namespace spooftrack::core {
+
+const char* to_string(MitigationKind kind) noexcept {
+  switch (kind) {
+    case MitigationKind::kBlackhole: return "blackhole";
+    case MitigationKind::kFlowspecFilter: return "flowspec-filter";
+  }
+  return "?";
+}
+
+std::string MitigationAction::describe() const {
+  std::string out = to_string(kind);
+  out += " on link " + std::to_string(link);
+  out += " (attack share " +
+         std::to_string(static_cast<int>(spoofed_share * 100.0 + 0.5)) +
+         "%, collateral " +
+         std::to_string(static_cast<int>(collateral_share * 100.0 + 0.5)) +
+         "%), notify:";
+  for (topology::Asn asn : suspects) out += " AS" + std::to_string(asn);
+  return out;
+}
+
+MitigationPlan plan_mitigation(
+    const MixtureResult& mixture, const Clustering& clustering,
+    const std::vector<topology::AsId>& sources,
+    const topology::AsGraph& graph, const bgp::CatchmentMap& live_catchments,
+    const std::vector<double>& legit_volume_by_link,
+    const MitigationOptions& options) {
+  MitigationPlan plan;
+  plan.unattributed = mixture.residual_fraction;
+
+  // Normalize the legitimate volumes once.
+  double legit_total = 0.0;
+  for (double v : legit_volume_by_link) legit_total += v;
+
+  const auto members_by_cluster = clustering.members();
+  for (const MixtureComponent& component : mixture.components) {
+    if (plan.actions.size() >= options.max_actions) break;
+    if (component.cluster >= members_by_cluster.size()) continue;
+    const auto& members = members_by_cluster[component.cluster];
+    if (members.empty()) continue;
+
+    MitigationAction action;
+    action.cluster = component.cluster;
+    action.spoofed_share = component.weight;
+
+    // Ingress link under the live configuration: all members share it by
+    // construction; take the first routed member.
+    for (std::uint32_t member : members) {
+      const topology::AsId source = sources[member];
+      if (source < live_catchments.size() &&
+          live_catchments[source] != bgp::kNoCatchment) {
+        action.link = live_catchments[source];
+        break;
+      }
+    }
+    if (action.link == bgp::kNoCatchment) continue;  // not actionable now
+
+    action.collateral_share =
+        (legit_total > 0.0 && action.link < legit_volume_by_link.size())
+            ? legit_volume_by_link[action.link] / legit_total
+            : 0.0;
+    action.kind =
+        action.collateral_share <= options.blackhole_collateral_threshold
+            ? MitigationKind::kBlackhole
+            : MitigationKind::kFlowspecFilter;
+
+    action.suspects.reserve(members.size());
+    for (std::uint32_t member : members) {
+      action.suspects.push_back(graph.asn_of(sources[member]));
+    }
+    std::sort(action.suspects.begin(), action.suspects.end());
+
+    plan.covered_weight += component.weight;
+    plan.actions.push_back(std::move(action));
+  }
+  return plan;
+}
+
+}  // namespace spooftrack::core

@@ -1,0 +1,69 @@
+// Mitigation planning (§I): the paper motivates localization as the input
+// to "automatic DoS mitigation systems that use, e.g., BGP communities to
+// trigger remote traffic blackholing or BGP flowspec to configure traffic
+// filters". This module turns an attribution result into such a plan:
+//
+//  * a cluster whose ingress link carries little legitimate traffic can be
+//    blackholed wholesale (RTBH community toward the upstream);
+//  * a cluster sharing its link with substantial legitimate traffic gets a
+//    targeted flowspec filter (match on the attack signature) instead;
+//  * every action lists the suspect ASNs for operator notification (the
+//    paper's "targeted intervention" / BCP38 outreach).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/catchment.hpp"
+#include "core/attribution.hpp"
+#include "core/cluster.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::core {
+
+enum class MitigationKind : std::uint8_t {
+  kBlackhole = 0,      // RTBH: drop everything on the ingress link
+  kFlowspecFilter,     // targeted filter: drop only the attack signature
+};
+
+const char* to_string(MitigationKind kind) noexcept;
+
+struct MitigationAction {
+  MitigationKind kind = MitigationKind::kFlowspecFilter;
+  std::uint32_t cluster = 0;
+  bgp::LinkId link = bgp::kNoCatchment;  // ingress under the live config
+  std::vector<topology::Asn> suspects;   // cluster members, for outreach
+  double spoofed_share = 0.0;            // attributed attack weight
+  double collateral_share = 0.0;         // legit volume on the same link
+
+  std::string describe() const;
+};
+
+struct MitigationPlan {
+  std::vector<MitigationAction> actions;
+  /// Fraction of the attributed attack volume the plan covers.
+  double covered_weight = 0.0;
+  /// Fraction left unattributed by the mixture (not actionable).
+  double unattributed = 0.0;
+};
+
+struct MitigationOptions {
+  /// Blackhole when the link's legitimate share is below this; otherwise
+  /// fall back to a flowspec filter.
+  double blackhole_collateral_threshold = 0.05;
+  std::size_t max_actions = 8;
+};
+
+/// Builds a plan from a mixture attribution. `live_catchments` is the
+/// catchment map of the currently-deployed configuration (actions attach
+/// to ingress links); `legit_volume_by_link` is the legitimate traffic
+/// share per link under that configuration (normalized or raw).
+MitigationPlan plan_mitigation(
+    const MixtureResult& mixture, const Clustering& clustering,
+    const std::vector<topology::AsId>& sources,
+    const topology::AsGraph& graph, const bgp::CatchmentMap& live_catchments,
+    const std::vector<double>& legit_volume_by_link,
+    const MitigationOptions& options = {});
+
+}  // namespace spooftrack::core

@@ -1,0 +1,45 @@
+// Routing-policy compliance audit (Figure 9): for each configuration,
+// which fraction of ASes chose routes consistent with (i) the
+// best-relationship criterion (customer > peer > provider) and (ii) both
+// best-relationship and shortest AS-path (the Gao-Rexford model)?
+//
+// The paper audits observed AS-paths against the alternatives visible in
+// its measurements; with the simulator we audit against the exact
+// candidate set (the routes an AS's neighbors exported to it), which is
+// the same question with perfect visibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/engine.hpp"
+
+namespace spooftrack::core {
+
+struct ComplianceStats {
+  std::size_t audited = 0;          // routed ASes with >= 1 candidate
+  std::size_t best_relationship = 0;  // chose a max-relationship route
+  std::size_t both_criteria = 0;      // ...that is also shortest in class
+
+  double best_relationship_fraction() const noexcept {
+    return audited == 0 ? 0.0
+                        : static_cast<double>(best_relationship) /
+                              static_cast<double>(audited);
+  }
+  double both_fraction() const noexcept {
+    return audited == 0 ? 0.0
+                        : static_cast<double>(both_criteria) /
+                              static_cast<double>(audited);
+  }
+
+  friend bool operator==(const ComplianceStats&,
+                         const ComplianceStats&) = default;
+};
+
+/// Audits every routed AS under one configuration's outcome.
+ComplianceStats audit_compliance(const bgp::Engine& engine,
+                                 const bgp::OriginSpec& origin,
+                                 const bgp::Configuration& config,
+                                 const bgp::RoutingOutcome& outcome);
+
+}  // namespace spooftrack::core

@@ -1,0 +1,202 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <numeric>
+
+#include "core/cluster.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace spooftrack::core {
+
+namespace {
+
+constexpr std::uint32_t kSlots = 64;
+constexpr std::uint32_t kMissingSlot = kSlots - 1;
+
+std::uint32_t slot_of(bgp::LinkId link) noexcept {
+  return link == bgp::kNoCatchment
+             ? kMissingSlot
+             : std::min<std::uint32_t>(link, kMissingSlot - 1);
+}
+
+/// Number of clusters a refinement with `row` would produce, without
+/// mutating the partition. Uses caller-provided epoch scratch tables.
+std::uint32_t count_after(const std::vector<std::uint32_t>& cluster_of,
+                          std::span<const bgp::LinkId> row,
+                          std::vector<std::uint64_t>& stamp,
+                          std::uint64_t& epoch) {
+  ++epoch;
+  std::uint32_t count = 0;
+  for (std::uint32_t s = 0; s < cluster_of.size(); ++s) {
+    const std::size_t key =
+        std::size_t{cluster_of[s]} * kSlots + slot_of(row[s]);
+    if (stamp[key] != epoch) {
+      stamp[key] = epoch;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+ScheduleTrace random_schedule(const measure::CatchmentMatrix& matrix,
+                              util::Rng& rng) {
+  ScheduleTrace trace;
+  if (matrix.empty()) return trace;
+  trace.order.resize(matrix.size());
+  std::iota(trace.order.begin(), trace.order.end(), std::size_t{0});
+  rng.shuffle(trace.order);
+
+  ClusterTracker tracker(matrix[0].size());
+  trace.mean_cluster_size.reserve(matrix.size());
+  for (std::size_t config : trace.order) {
+    tracker.refine(matrix[config]);
+    trace.mean_cluster_size.push_back(tracker.mean_cluster_size());
+  }
+  return trace;
+}
+
+ScheduleTrace greedy_schedule(const measure::CatchmentMatrix& matrix,
+                              std::size_t steps) {
+  ScheduleTrace trace;
+  if (matrix.empty()) return trace;
+  const std::size_t source_count = matrix[0].size();
+  if (steps == 0 || steps > matrix.size()) steps = matrix.size();
+
+  ClusterTracker tracker(source_count);
+  std::vector<bool> used(matrix.size(), false);
+  std::vector<std::uint64_t> stamp(source_count * kSlots, 0);
+  std::uint64_t epoch = 0;
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    std::size_t best_config = matrix.size();
+    std::uint32_t best_count = 0;
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
+      if (used[c]) continue;
+      const std::uint32_t count = count_after(
+          tracker.current().cluster_of, matrix[c], stamp, epoch);
+      if (best_config == matrix.size() || count > best_count) {
+        best_config = c;
+        best_count = count;
+      }
+    }
+    if (best_config == matrix.size()) break;
+    used[best_config] = true;
+    tracker.refine(matrix[best_config]);
+    trace.order.push_back(best_config);
+    trace.mean_cluster_size.push_back(tracker.mean_cluster_size());
+  }
+  return trace;
+}
+
+ScheduleTrace weighted_greedy_schedule(
+    const measure::CatchmentMatrix& matrix,
+    const std::vector<double>& source_volume, std::size_t steps) {
+  ScheduleTrace trace;
+  if (matrix.empty()) return trace;
+  const std::size_t source_count = matrix[0].size();
+  if (source_volume.size() != source_count) {
+    throw std::invalid_argument("one volume per source is required");
+  }
+  if (steps == 0 || steps > matrix.size()) steps = matrix.size();
+
+  double total_volume = 0.0;
+  for (double v : source_volume) total_volume += v;
+  if (total_volume <= 0.0) total_volume = 1.0;
+
+  ClusterTracker tracker(source_count);
+  std::vector<bool> used(matrix.size(), false);
+  // Epoch-stamped scratch: bucket id, member count and volume per
+  // (cluster, catchment) pair.
+  std::vector<std::uint64_t> stamp(source_count * kSlots, 0);
+  std::vector<std::uint32_t> bucket_of(source_count * kSlots, 0);
+  std::vector<std::uint32_t> bucket_size;
+  std::vector<double> bucket_volume;
+  std::uint64_t epoch = 0;
+
+  // Volume-weighted expected cluster size of the refinement by `row`.
+  auto weighted_after = [&](std::span<const bgp::LinkId> row) {
+    ++epoch;
+    const auto& cluster_of = tracker.current().cluster_of;
+    std::uint32_t next_bucket = 0;
+    bucket_size.clear();
+    bucket_volume.clear();
+    for (std::uint32_t s = 0; s < source_count; ++s) {
+      const std::size_t key =
+          std::size_t{cluster_of[s]} * kSlots + slot_of(row[s]);
+      if (stamp[key] != epoch) {
+        stamp[key] = epoch;
+        bucket_of[key] = next_bucket++;
+        bucket_size.push_back(0);
+        bucket_volume.push_back(0.0);
+      }
+      const std::uint32_t bucket = bucket_of[key];
+      ++bucket_size[bucket];
+      bucket_volume[bucket] += source_volume[s];
+    }
+    double objective = 0.0;
+    for (std::uint32_t b = 0; b < next_bucket; ++b) {
+      objective += bucket_volume[b] * static_cast<double>(bucket_size[b]);
+    }
+    return objective / total_volume;
+  };
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    std::size_t best_config = matrix.size();
+    double best_objective = 0.0;
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
+      if (used[c]) continue;
+      const double objective = weighted_after(matrix[c]);
+      if (best_config == matrix.size() || objective < best_objective) {
+        best_config = c;
+        best_objective = objective;
+      }
+    }
+    if (best_config == matrix.size()) break;
+    used[best_config] = true;
+    tracker.refine(matrix[best_config]);
+    trace.order.push_back(best_config);
+    trace.mean_cluster_size.push_back(best_objective);
+  }
+  return trace;
+}
+
+RandomEnsemble random_ensemble(const measure::CatchmentMatrix& matrix,
+                               std::size_t sequences, std::uint64_t seed,
+                               std::size_t max_steps) {
+  RandomEnsemble ensemble;
+  ensemble.sequences = sequences;
+  if (matrix.empty() || sequences == 0) return ensemble;
+  const std::size_t steps =
+      (max_steps == 0 || max_steps > matrix.size()) ? matrix.size()
+                                                    : max_steps;
+
+  // One row of step-wise means per sequence; sequences run in parallel
+  // with independent deterministic RNG streams.
+  std::vector<std::vector<double>> means(sequences);
+  util::parallel_for(sequences, [&](std::size_t i) {
+    util::Rng rng{util::hash_combine(seed, i)};
+    const ScheduleTrace trace = random_schedule(matrix, rng);
+    means[i].assign(trace.mean_cluster_size.begin(),
+                    trace.mean_cluster_size.begin() +
+                        static_cast<std::ptrdiff_t>(steps));
+  });
+
+  ensemble.p25.resize(steps);
+  ensemble.p50.resize(steps);
+  ensemble.p75.resize(steps);
+  std::vector<double> column(sequences);
+  for (std::size_t k = 0; k < steps; ++k) {
+    for (std::size_t i = 0; i < sequences; ++i) column[i] = means[i][k];
+    ensemble.p25[k] = util::percentile(column, 25.0);
+    ensemble.p50[k] = util::percentile(column, 50.0);
+    ensemble.p75[k] = util::percentile(column, 75.0);
+  }
+  return ensemble;
+}
+
+}  // namespace spooftrack::core

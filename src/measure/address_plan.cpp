@@ -1,0 +1,46 @@
+#include "measure/address_plan.hpp"
+
+#include "util/rng.hpp"
+
+namespace spooftrack::measure {
+
+namespace {
+// Per-AS /20s carved sequentially from 20.0.0.0/6: AsId i owns
+// 20.0.0.0 + i * 4096 .. + 4095.
+constexpr std::uint32_t kAsSpaceBase = 20u << 24;
+constexpr std::uint32_t kAsPrefixSize = 1u << 12;  // /20
+}  // namespace
+
+AddressPlan::AddressPlan(const topology::AsGraph& graph)
+    : as_count_(graph.size()) {}
+
+netcore::Ipv4Prefix AddressPlan::prefix_of(topology::AsId id) const noexcept {
+  return netcore::Ipv4Prefix::make(
+      netcore::Ipv4Addr{kAsSpaceBase + id * kAsPrefixSize}, 20);
+}
+
+netcore::Ipv4Addr AddressPlan::router_address(
+    topology::AsId id, std::uint32_t router) const noexcept {
+  // Routers live in the low /24 of the AS prefix, starting at .16.
+  return prefix_of(id).nth(16 + (router % 224));
+}
+
+netcore::Ipv4Addr AddressPlan::border_address(
+    topology::AsId owner, topology::AsId on,
+    topology::AsId toward) const noexcept {
+  // Border interfaces live above the router block; a stable slot per
+  // (on, toward) pair keeps repeated traceroutes consistent.
+  const std::uint64_t slot =
+      256 + util::hash_combine(on, toward) % (kAsPrefixSize - 512);
+  return prefix_of(owner).nth(slot);
+}
+
+netcore::Ipv4Prefix AddressPlan::experiment_prefix() noexcept {
+  return netcore::Ipv4Prefix::make(netcore::Ipv4Addr{184, 164, 224, 0}, 24);
+}
+
+netcore::Ipv4Addr AddressPlan::experiment_target() noexcept {
+  return netcore::Ipv4Addr{184, 164, 224, 1};
+}
+
+}  // namespace spooftrack::measure

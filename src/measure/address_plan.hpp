@@ -1,0 +1,44 @@
+// Address plan: assigns every AS an IPv4 prefix for its routers and models
+// border-interface numbering. Traceroute hops at AS boundaries frequently
+// respond with an address numbered out of the *neighbor's* prefix (the
+// incoming interface of an inter-AS link) — the classic IP-to-AS mapping
+// pitfall §IV-b repairs. The experiment prefix itself is PEERING's real
+// 184.164.224.0/24.
+#pragma once
+
+#include <cstdint>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/prefix.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::measure {
+
+class AddressPlan {
+ public:
+  explicit AddressPlan(const topology::AsGraph& graph);
+
+  /// The /20 owned by an AS.
+  netcore::Ipv4Prefix prefix_of(topology::AsId id) const noexcept;
+
+  /// Address of the k-th internal router of an AS.
+  netcore::Ipv4Addr router_address(topology::AsId id,
+                                   std::uint32_t router) const noexcept;
+
+  /// Address of the interface of `on` facing `toward`, numbered from
+  /// `owner`'s prefix (owner is `on` or `toward`, the link-subnet owner).
+  netcore::Ipv4Addr border_address(topology::AsId owner, topology::AsId on,
+                                   topology::AsId toward) const noexcept;
+
+  /// The announced experiment prefix (PEERING's 184.164.224.0/24).
+  static netcore::Ipv4Prefix experiment_prefix() noexcept;
+  /// The in-prefix address probes target / the honeypot listens on.
+  static netcore::Ipv4Addr experiment_target() noexcept;
+
+  std::size_t as_count() const noexcept { return as_count_; }
+
+ private:
+  std::size_t as_count_;
+};
+
+}  // namespace spooftrack::measure

@@ -1,0 +1,58 @@
+// BGP convergence-time model (§IV-a).
+//
+// The paper keeps each configuration active for 70 minutes because route
+// convergence "takes less than 2.5 minutes 99% of the time" (LIFEGUARD's
+// measurement) and three traceroute rounds must land after convergence.
+// The routing engine's Jacobi rounds approximate update ripples: an AS
+// settling in round k heard k waves of updates, each paced by its
+// neighbors' MRAI batching. This model turns settle rounds into seconds —
+// per-AS MRAI draws around a configurable mean — yielding per-AS and
+// per-configuration convergence-time distributions that can be checked
+// against the paper's dwell-time budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/engine.hpp"
+
+namespace spooftrack::measure {
+
+struct ConvergenceOptions {
+  /// Per-AS update pacing window (BGP MRAI defaults range 5-30 s; modern
+  /// deployments pace well below the classic 30 s).
+  double mrai_seconds = 10.0;
+  /// Per-AS pacing spread: each AS's effective MRAI is drawn uniformly in
+  /// [mean * (1 - spread), mean * (1 + spread)].
+  double spread = 0.5;
+  std::uint64_t seed = 31337;
+};
+
+class ConvergenceModel {
+ public:
+  explicit ConvergenceModel(const ConvergenceOptions& options = {});
+
+  /// Seconds until each AS last changed its route (0 for ASes that never
+  /// changed): each update ripple hop waits a uniform fraction of the
+  /// AS's pacing window, so an AS settling in round k accumulates k
+  /// partial windows. Deterministic per (options.seed, AS id, round).
+  std::vector<double> per_as_seconds(
+      const bgp::RoutingOutcome& outcome) const;
+
+  /// Seconds until the whole configuration settled (max over ASes).
+  double settle_seconds(const bgp::RoutingOutcome& outcome) const;
+
+  /// Whether a measurement scheduled `wait_seconds` after the announcement
+  /// sees fully converged routes.
+  bool converged_by(const bgp::RoutingOutcome& outcome,
+                    double wait_seconds) const {
+    return settle_seconds(outcome) <= wait_seconds;
+  }
+
+ private:
+  double mrai_of(std::uint32_t as_id) const;
+
+  ConvergenceOptions options_;
+};
+
+}  // namespace spooftrack::measure

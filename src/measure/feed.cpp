@@ -1,0 +1,63 @@
+#include "measure/feed.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "topology/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace spooftrack::measure {
+
+FeedSimulator::FeedSimulator(const topology::AsGraph& graph,
+                             const FeedOptions& options)
+    : graph_(graph) {
+  util::Rng rng{options.seed};
+
+  std::vector<topology::AsId> by_cone(graph.size());
+  std::iota(by_cone.begin(), by_cone.end(), 0);
+  const auto cones = topology::customer_cone_sizes(graph);
+  std::stable_sort(by_cone.begin(), by_cone.end(),
+                   [&](topology::AsId a, topology::AsId b) {
+                     return cones[a] > cones[b];
+                   });
+
+  const std::uint32_t want =
+      std::min<std::uint32_t>(options.peer_count,
+                              static_cast<std::uint32_t>(graph.size()));
+  const auto biased =
+      static_cast<std::uint32_t>(want * options.large_cone_bias);
+
+  std::unordered_set<topology::AsId> chosen;
+  // Large-cone peers: take the top of the cone ranking.
+  for (std::uint32_t i = 0; i < biased && i < by_cone.size(); ++i) {
+    chosen.insert(by_cone[i]);
+  }
+  // Remaining peers: uniform over the whole graph.
+  while (chosen.size() < want) {
+    chosen.insert(
+        static_cast<topology::AsId>(rng.next_below(graph.size())));
+  }
+  peers_.assign(chosen.begin(), chosen.end());
+  std::sort(peers_.begin(), peers_.end());
+}
+
+std::vector<FeedEntry> FeedSimulator::collect(
+    const bgp::RoutingOutcome& outcome) const {
+  std::vector<FeedEntry> entries;
+  entries.reserve(peers_.size());
+  for (topology::AsId peer : peers_) {
+    const bgp::Route& route = outcome.best[peer];
+    if (!route.valid()) continue;
+    FeedEntry entry;
+    entry.peer = peer;
+    entry.as_path.reserve(route.as_path.size() + 1);
+    entry.as_path.push_back(graph_.asn_of(peer));
+    entry.as_path.insert(entry.as_path.end(), route.as_path.begin(),
+                         route.as_path.end());
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace spooftrack::measure

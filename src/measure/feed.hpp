@@ -1,0 +1,47 @@
+// Public BGP feed simulation (RouteViews / RIPE RIS stand-in): a set of
+// collector-peer ASes export their full AS-path toward the experiment
+// prefix after each configuration converges. Paths are exactly what the
+// routing engine computed — including origin prepending and PEERING's
+// poison sandwich — so downstream inference must strip them, as the paper
+// does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::measure {
+
+struct FeedEntry {
+  topology::AsId peer = topology::kInvalidAsId;
+  /// AS-path as exported by the peer: [peer, ..., origin].
+  std::vector<topology::Asn> as_path;
+};
+
+struct FeedOptions {
+  /// Number of collector-peer ASes (RouteViews+RIS peer with hundreds).
+  std::uint32_t peer_count = 250;
+  /// Fraction of peers drawn from the largest-cone ASes (collectors peer
+  /// predominantly with large transit networks).
+  double large_cone_bias = 0.6;
+  std::uint64_t seed = 17;
+};
+
+class FeedSimulator {
+ public:
+  FeedSimulator(const topology::AsGraph& graph, const FeedOptions& options);
+
+  const std::vector<topology::AsId>& peers() const noexcept { return peers_; }
+
+  /// Collects one RIB snapshot: one entry per peer that currently has a
+  /// route. Thread-safe (const, no mutable state).
+  std::vector<FeedEntry> collect(const bgp::RoutingOutcome& outcome) const;
+
+ private:
+  const topology::AsGraph& graph_;
+  std::vector<topology::AsId> peers_;
+};
+
+}  // namespace spooftrack::measure

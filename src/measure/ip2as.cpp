@@ -1,0 +1,29 @@
+#include "measure/ip2as.hpp"
+
+#include "util/rng.hpp"
+
+namespace spooftrack::measure {
+
+Ip2AsMap Ip2AsMap::from_plan(const topology::AsGraph& graph,
+                             const AddressPlan& plan,
+                             topology::Asn origin_asn,
+                             const Ip2AsOptions& options) {
+  Ip2AsMap map;
+  util::Rng rng{options.seed};
+  for (topology::AsId id = 0; id < graph.size(); ++id) {
+    if (rng.chance(options.missing_fraction)) continue;
+    map.add(plan.prefix_of(id), graph.asn_of(id));
+  }
+  map.add(AddressPlan::experiment_prefix(), origin_asn);
+  return map;
+}
+
+void Ip2AsMap::add(const netcore::Ipv4Prefix& prefix, topology::Asn asn) {
+  table_.insert(prefix, asn);
+}
+
+std::optional<topology::Asn> Ip2AsMap::lookup(netcore::Ipv4Addr addr) const {
+  return table_.lookup(addr);
+}
+
+}  // namespace spooftrack::measure

@@ -1,0 +1,40 @@
+// IP-to-AS mapping database (Team Cymru stand-in): longest-prefix-match
+// table from prefixes to origin ASNs, built from the address plan with a
+// configurable fraction of deliberately missing coverage (real IP-to-AS
+// data is incomplete, which is why §IV-b needs a repair pass).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "measure/address_plan.hpp"
+#include "netcore/lpm.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::measure {
+
+struct Ip2AsOptions {
+  /// Fraction of AS prefixes absent from the database.
+  double missing_fraction = 0.03;
+  std::uint64_t seed = 23;
+};
+
+class Ip2AsMap {
+ public:
+  Ip2AsMap() = default;
+
+  /// Builds the database from the address plan. The experiment prefix maps
+  /// to `origin_asn`. IXP LANs are intentionally not covered.
+  static Ip2AsMap from_plan(const topology::AsGraph& graph,
+                            const AddressPlan& plan, topology::Asn origin_asn,
+                            const Ip2AsOptions& options);
+
+  void add(const netcore::Ipv4Prefix& prefix, topology::Asn asn);
+  std::optional<topology::Asn> lookup(netcore::Ipv4Addr addr) const;
+  std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  netcore::LpmTable<topology::Asn> table_;
+};
+
+}  // namespace spooftrack::measure

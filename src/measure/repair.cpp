@@ -1,0 +1,216 @@
+#include "measure/repair.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+namespace spooftrack::measure {
+
+namespace {
+
+// Maximum gap width considered by the substitution steps.
+constexpr std::size_t kWindow = 5;
+
+std::uint64_t pack(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a << 32) | (b & 0xFFFFFFFFULL);
+}
+
+template <typename T>
+struct SeqEntry {
+  std::vector<T> seq;
+  bool conflict = false;
+};
+
+/// Records `interior` for key (a, b); marks the key conflicting when a
+/// different interior was seen before.
+template <typename T>
+void record(std::unordered_map<std::uint64_t, SeqEntry<T>>& map,
+            std::uint64_t key, const std::vector<T>& interior) {
+  const auto it = map.find(key);
+  if (it == map.end()) {
+    map.emplace(key, SeqEntry<T>{interior});
+    return;
+  }
+  if (!it->second.conflict && it->second.seq != interior) {
+    it->second.conflict = true;
+  }
+}
+
+using AddrSeqMap =
+    std::unordered_map<std::uint64_t, SeqEntry<netcore::Ipv4Addr>>;
+using AsnSeqMap = std::unordered_map<std::uint64_t, SeqEntry<topology::Asn>>;
+
+/// Step-2 index: responsive address sequences between pairs of responsive
+/// addresses, across all traceroutes of the batch.
+AddrSeqMap build_address_index(std::span<const Traceroute> traces) {
+  AddrSeqMap map;
+  for (const Traceroute& trace : traces) {
+    const auto& hops = trace.hops;
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      if (!hops[i].responsive()) continue;
+      std::vector<netcore::Ipv4Addr> interior;
+      for (std::size_t j = i + 1; j < hops.size() && j - i <= kWindow + 1;
+           ++j) {
+        if (!hops[j].responsive()) break;  // interior must stay responsive
+        record(map, pack(hops[i].address->value(), hops[j].address->value()),
+               interior);
+        interior.push_back(*hops[j].address);
+      }
+    }
+  }
+  return map;
+}
+
+/// Step-4 index: unique AS sequences between AS pairs in feed paths.
+AsnSeqMap build_feed_index(std::span<const FeedEntry> feeds,
+                           topology::Asn origin_asn) {
+  AsnSeqMap map;
+  for (const FeedEntry& feed : feeds) {
+    // Collapse prepending before indexing.
+    std::vector<topology::Asn> path;
+    for (topology::Asn asn : feed.as_path) {
+      if (path.empty() || path.back() != asn) path.push_back(asn);
+    }
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      std::vector<topology::Asn> interior;
+      for (std::size_t j = i + 1; j < path.size() && j - i <= kWindow + 1;
+           ++j) {
+        // Interiors crossing the origin (poison sandwiches) are artifacts
+        // of the announcement encoding, not real topology.
+        if (j >= 1 && j - i >= 2 && path[j - 1] == origin_asn) break;
+        record(map, pack(path[i], path[j]), interior);
+        interior.push_back(path[j]);
+      }
+    }
+  }
+  return map;
+}
+
+/// Applies step 2 to one trace: substitutes unresponsive runs using the
+/// batch-wide address index.
+std::vector<TracerouteHop> substitute_unresponsive(
+    const std::vector<TracerouteHop>& hops, const AddrSeqMap& index) {
+  std::vector<TracerouteHop> out;
+  out.reserve(hops.size());
+  std::size_t i = 0;
+  while (i < hops.size()) {
+    if (hops[i].responsive()) {
+      out.push_back(hops[i]);
+      ++i;
+      continue;
+    }
+    // Maximal unresponsive run [i, j).
+    std::size_t j = i;
+    while (j < hops.size() && !hops[j].responsive()) ++j;
+    const bool has_left = !out.empty() && out.back().responsive();
+    const bool has_right = j < hops.size();
+    bool substituted = false;
+    if (has_left && has_right && j - i <= kWindow) {
+      const auto it = index.find(pack(out.back().address->value(),
+                                      hops[j].address->value()));
+      if (it != index.end() && !it->second.conflict) {
+        for (netcore::Ipv4Addr addr : it->second.seq) {
+          out.push_back({addr});
+        }
+        substituted = true;
+      }
+    }
+    if (!substituted) {
+      for (std::size_t k = i; k < j; ++k) out.push_back(hops[k]);
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+PathRepair::PathRepair(const topology::AsGraph& graph, const Ip2AsMap& ip2as,
+                       const IxpTable& ixps, topology::Asn origin_asn)
+    : graph_(graph), ip2as_(ip2as), ixps_(ixps), origin_asn_(origin_asn) {}
+
+namespace {
+
+/// Steps 1, 3, 5: map hops to ASes, bridge unknown runs, collapse.
+AsLevelPath finish_mapping(const topology::AsGraph& graph,
+                           const Ip2AsMap& ip2as, const IxpTable& ixps,
+                           topology::Asn origin_asn, topology::AsId probe,
+                           const std::vector<TracerouteHop>& hops,
+                           const AsnSeqMap* feed_index) {
+  // Step 1: per-hop AS (nullopt = unresponsive or unmapped); IXP hops are
+  // dropped entirely (they belong to the fabric, not an AS).
+  std::vector<std::optional<topology::Asn>> mapped;
+  mapped.reserve(hops.size());
+  for (const TracerouteHop& hop : hops) {
+    if (!hop.responsive()) {
+      mapped.push_back(std::nullopt);
+      continue;
+    }
+    if (ixps.is_ixp_address(*hop.address)) continue;
+    mapped.push_back(ip2as.lookup(*hop.address));
+  }
+
+  // Steps 3 and 4: bridge unknown runs between known ASes.
+  std::vector<topology::Asn> as_hops;
+  std::size_t i = 0;
+  while (i < mapped.size()) {
+    if (mapped[i]) {
+      as_hops.push_back(*mapped[i]);
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < mapped.size() && !mapped[j]) ++j;
+    const bool has_left = !as_hops.empty();
+    const bool has_right = j < mapped.size();
+    if (has_left && has_right) {
+      const topology::Asn left = as_hops.back();
+      const topology::Asn right = *mapped[j];
+      if (left == right) {
+        // Same AS on both sides: the gap is internal to that AS.
+      } else if (feed_index != nullptr && j - i <= kWindow) {
+        const auto it = feed_index->find(pack(left, right));
+        if (it != feed_index->end() && !it->second.conflict) {
+          for (topology::Asn asn : it->second.seq) as_hops.push_back(asn);
+        }
+        // No unique sequence: hops stay dropped (step 5).
+      }
+    }
+    i = j;
+  }
+
+  // Step 5 + finalization: collapse duplicates, anchor at the probe AS.
+  AsLevelPath result;
+  result.probe = probe;
+  result.path.push_back(graph.asn_of(probe));
+  for (topology::Asn asn : as_hops) {
+    if (result.path.back() != asn) result.path.push_back(asn);
+  }
+  result.complete = result.path.back() == origin_asn;
+  return result;
+}
+
+}  // namespace
+
+AsLevelPath PathRepair::map_only(const Traceroute& trace) const {
+  return finish_mapping(graph_, ip2as_, ixps_, origin_asn_, trace.probe,
+                        trace.hops, nullptr);
+}
+
+std::vector<AsLevelPath> PathRepair::repair(
+    std::span<const Traceroute> traces,
+    std::span<const FeedEntry> feeds) const {
+  const AddrSeqMap address_index = build_address_index(traces);
+  const AsnSeqMap feed_index = build_feed_index(feeds, origin_asn_);
+
+  std::vector<AsLevelPath> out;
+  out.reserve(traces.size());
+  for (const Traceroute& trace : traces) {
+    const auto hops = substitute_unresponsive(trace.hops, address_index);
+    out.push_back(finish_mapping(graph_, ip2as_, ixps_, origin_asn_,
+                                 trace.probe, hops, &feed_index));
+  }
+  return out;
+}
+
+}  // namespace spooftrack::measure

@@ -1,0 +1,60 @@
+// §IV-b traceroute-to-AS-path pipeline, including the paper's repair steps:
+//
+//  1. Map hop addresses to ASes (longest-prefix match) and flag IXP hops.
+//  2. If consecutive unresponsive hops are surrounded by responsive ones,
+//     and the surrounding addresses have a *single* responsive sequence
+//     between them in other traceroutes, substitute it.
+//  3. Map remaining unresponsive/unmapped hops to the surrounding AS when
+//     both sides agree.
+//  4. When the sides disagree, substitute the unique AS sequence between
+//     them in public BGP feed paths, if one exists.
+//  5. Drop hops that remain unknown; collapse consecutive duplicates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/announcement.hpp"
+#include "measure/feed.hpp"
+#include "measure/ip2as.hpp"
+#include "measure/ixp_table.hpp"
+#include "measure/traceroute.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::measure {
+
+/// AS-level view of one traceroute after repair.
+struct AsLevelPath {
+  topology::AsId probe = topology::kInvalidAsId;
+  /// Collapsed AS path: probe ASN first; ends with the origin ASN when the
+  /// trace reached the experiment prefix.
+  std::vector<topology::Asn> path;
+  bool complete = false;  // reaches the origin ASN
+
+  friend bool operator==(const AsLevelPath&, const AsLevelPath&) = default;
+};
+
+class PathRepair {
+ public:
+  PathRepair(const topology::AsGraph& graph, const Ip2AsMap& ip2as,
+             const IxpTable& ixps, topology::Asn origin_asn);
+
+  /// Repairs a batch of traceroutes measured under the same configuration,
+  /// using the batch itself for step 2 and the feed snapshot for step 4.
+  std::vector<AsLevelPath> repair(
+      std::span<const Traceroute> traces,
+      std::span<const FeedEntry> feeds) const;
+
+  /// Single-trace AS mapping without cross-trace substitution (steps 1, 3,
+  /// 5 only); exposed for tests and diagnostics.
+  AsLevelPath map_only(const Traceroute& trace) const;
+
+ private:
+  const topology::AsGraph& graph_;
+  const Ip2AsMap& ip2as_;
+  const IxpTable& ixps_;
+  topology::Asn origin_asn_;
+};
+
+}  // namespace spooftrack::measure

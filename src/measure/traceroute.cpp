@@ -1,0 +1,99 @@
+#include "measure/traceroute.hpp"
+
+#include "util/rng.hpp"
+
+namespace spooftrack::measure {
+
+namespace {
+
+/// Deterministic uniform [0,1) from a tuple of identifiers.
+double unit_hash(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                 std::uint64_t d) {
+  const std::uint64_t h = util::hash_combine(util::hash_combine(a, b),
+                                             util::hash_combine(c, d));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TracerouteSim::TracerouteSim(const topology::AsGraph& graph,
+                             const AddressPlan& plan, const IxpTable& ixps,
+                             const TracerouteOptions& options)
+    : graph_(graph), plan_(plan), ixps_(ixps), options_(options) {}
+
+bool TracerouteSim::as_silent(topology::AsId id) const noexcept {
+  return unit_hash(options_.seed, 0xA5, id, 0) < options_.as_silent_prob;
+}
+
+Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
+                              topology::AsId probe, topology::AsId origin,
+                              std::uint64_t salt) const {
+  Traceroute trace;
+  trace.probe = probe;
+
+  auto transient_lost = [&](std::uint64_t hop_index) {
+    return unit_hash(options_.seed, salt ^ 0x7C, probe, hop_index) <
+           options_.hop_unresponsive_prob;
+  };
+  std::uint64_t hop_index = 0;
+  auto emit = [&](topology::AsId as, std::optional<netcore::Ipv4Addr> addr) {
+    ++hop_index;
+    if (!addr || as_silent(as) || transient_lost(hop_index)) {
+      trace.hops.push_back({std::nullopt});
+    } else {
+      trace.hops.push_back({addr});
+    }
+  };
+
+  const auto path = bgp::forwarding_path(outcome, probe, origin);
+  if (path.empty()) {
+    // No route: the trace dies after the probe's own gateway.
+    emit(probe, plan_.router_address(probe, 0));
+    return trace;
+  }
+
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const topology::AsId as = path[i];
+    if (as == origin) break;  // the origin answers from the target address
+
+    if (i == 0) {
+      // Probe-side gateway inside the probe AS.
+      emit(as, plan_.router_address(as, 0));
+    } else {
+      const topology::AsId prev = path[i - 1];
+      // Ingress border interface of `as` facing `prev`.
+      const auto ixp = ixps_.ixp_of_edge(prev, as);
+      if (ixp) {
+        emit(as, ixps_.member_address(*ixp, as));
+      } else {
+        const bool foreign =
+            unit_hash(options_.seed, 0xB0, prev, as) <
+            options_.border_foreign_addr_prob;
+        const topology::AsId owner = foreign ? prev : as;
+        emit(as, plan_.border_address(owner, as, prev));
+      }
+    }
+
+    // Internal routers before the egress (skip inside the last AS before
+    // the origin only when it has none to show).
+    const double extra_draw = unit_hash(options_.seed, 0xC1, as, probe);
+    const std::uint32_t extra =
+        extra_draw < options_.extra_internal_hops ? 1u : 0u;
+    for (std::uint32_t r = 1; r <= extra; ++r) {
+      emit(as, plan_.router_address(as, r));
+    }
+  }
+
+  // Destination: the experiment target inside the announced prefix. The
+  // target host answers unless the probe lost the final reply.
+  ++hop_index;
+  if (transient_lost(hop_index)) {
+    trace.hops.push_back({std::nullopt});
+  } else {
+    trace.hops.push_back({AddressPlan::experiment_target()});
+    trace.reached = true;
+  }
+  return trace;
+}
+
+}  // namespace spooftrack::measure

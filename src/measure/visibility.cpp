@@ -1,0 +1,93 @@
+#include "measure/visibility.hpp"
+
+#include <algorithm>
+
+namespace spooftrack::measure {
+
+std::vector<topology::AsId> baseline_sources(const InferenceResult& first) {
+  std::vector<topology::AsId> sources;
+  for (topology::AsId id = 0; id < first.observed.size(); ++id) {
+    if (first.observed[id] &&
+        first.catchments.link_of[id] != bgp::kNoCatchment) {
+      sources.push_back(id);
+    }
+  }
+  return sources;
+}
+
+CatchmentMatrix build_matrix(const std::vector<InferenceResult>& per_config,
+                             const std::vector<topology::AsId>& sources) {
+  CatchmentMatrix matrix(per_config.size(),
+                         std::vector<bgp::LinkId>(sources.size(),
+                                                  bgp::kNoCatchment));
+  for (std::size_t c = 0; c < per_config.size(); ++c) {
+    const auto& inferred = per_config[c];
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const topology::AsId id = sources[s];
+      if (inferred.observed[id]) {
+        matrix[c][s] = inferred.catchments.link_of[id];
+      }
+    }
+  }
+  impute_missing(matrix);
+  return matrix;
+}
+
+namespace {
+
+/// Number of configurations where both sources were observed in the same
+/// catchment.
+std::uint32_t co_catchment_count(const CatchmentMatrix& matrix,
+                                 std::size_t s, std::size_t t) {
+  std::uint32_t count = 0;
+  for (const auto& row : matrix) {
+    const bgp::LinkId a = row[s];
+    const bgp::LinkId b = row[t];
+    if (a != bgp::kNoCatchment && a == b) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+void impute_missing(CatchmentMatrix& matrix) {
+  if (matrix.empty()) return;
+  const std::size_t source_count = matrix[0].size();
+
+  // Sources with at least one missing cell.
+  std::vector<std::size_t> incomplete;
+  for (std::size_t s = 0; s < source_count; ++s) {
+    for (const auto& row : matrix) {
+      if (row[s] == bgp::kNoCatchment) {
+        incomplete.push_back(s);
+        break;
+      }
+    }
+  }
+  if (incomplete.empty()) return;
+
+  // Two passes: the second can read values the first filled in.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t s : incomplete) {
+      // s_max: the other source most frequently sharing s's catchment.
+      std::size_t smax = source_count;
+      std::uint32_t best = 0;
+      for (std::size_t t = 0; t < source_count; ++t) {
+        if (t == s) continue;
+        const std::uint32_t count = co_catchment_count(matrix, s, t);
+        if (count > best) {
+          best = count;
+          smax = t;
+        }
+      }
+      if (smax == source_count) continue;  // never co-observed with anyone
+      for (auto& row : matrix) {
+        if (row[s] == bgp::kNoCatchment && row[smax] != bgp::kNoCatchment) {
+          row[s] = row[smax];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace spooftrack::measure

@@ -1,0 +1,41 @@
+// Source visibility handling (§IV-d).
+//
+// A source observed in some configurations may be missing from others
+// (route changes, poisoning, measurement loss). The paper (1) restricts the
+// analysis to sources observed in the first all-locations announcement, and
+// (2) fills each missing (source, configuration) cell with the catchment of
+// s_max — the source that most frequently shared a catchment with s across
+// the configurations where s was observed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/catchment.hpp"
+#include "measure/inference.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::measure {
+
+/// The paper's baseline source set: ASes observed under the first
+/// (all-locations, no prepending, no poisoning) configuration.
+std::vector<topology::AsId> baseline_sources(const InferenceResult& first);
+
+/// Catchment matrix over a fixed source set: row per configuration, column
+/// per source (indexed as in `sources`). Cells hold LinkIds, or
+/// bgp::kNoCatchment when unresolved.
+using CatchmentMatrix = std::vector<std::vector<bgp::LinkId>>;
+
+/// Builds the matrix from per-configuration inference results, then imputes
+/// missing cells via s_max. Two imputation passes run so that a cell can be
+/// filled from a value the first pass produced; cells that remain missing
+/// (e.g. s_max unobserved in the same configurations) stay kNoCatchment.
+CatchmentMatrix build_matrix(
+    const std::vector<InferenceResult>& per_config,
+    const std::vector<topology::AsId>& sources);
+
+/// The imputation step alone, exposed for tests: fills missing cells of
+/// `matrix` in place using s_max co-catchment frequency.
+void impute_missing(CatchmentMatrix& matrix);
+
+}  // namespace spooftrack::measure

@@ -1,0 +1,26 @@
+#include "netcore/checksum.hpp"
+
+namespace spooftrack::netcore {
+
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    acc += std::uint32_t{data[i]} << 8;  // odd trailing byte, zero-padded
+  }
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) noexcept {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return checksum_finish(checksum_accumulate(data));
+}
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,20 @@
+// RFC 1071 Internet checksum, used by the IPv4 and UDP header serializers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace spooftrack::netcore {
+
+/// One's-complement sum folded to 16 bits; caller complements at the end.
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc = 0) noexcept;
+
+/// Finalize: fold carries and take one's complement.
+std::uint16_t checksum_finish(std::uint32_t acc) noexcept;
+
+/// Convenience: full RFC 1071 checksum of a buffer.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace spooftrack::netcore

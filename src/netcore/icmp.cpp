@@ -1,0 +1,82 @@
+#include "netcore/icmp.hpp"
+
+#include "netcore/checksum.hpp"
+
+namespace spooftrack::netcore {
+
+namespace {
+constexpr std::uint8_t kTypeEchoReply = 0;
+constexpr std::uint8_t kTypeEchoRequest = 8;
+}  // namespace
+
+void IcmpEchoHeader::serialize(
+    std::span<std::uint8_t, kIcmpEchoHeaderBytes> out,
+    std::span<const std::uint8_t> payload) const noexcept {
+  out[0] = is_reply ? kTypeEchoReply : kTypeEchoRequest;
+  out[1] = 0;  // code
+  out[2] = out[3] = 0;  // checksum placeholder
+  out[4] = static_cast<std::uint8_t>(identifier >> 8);
+  out[5] = static_cast<std::uint8_t>(identifier);
+  out[6] = static_cast<std::uint8_t>(sequence >> 8);
+  out[7] = static_cast<std::uint8_t>(sequence);
+  std::uint32_t acc = checksum_accumulate(out);
+  acc = checksum_accumulate(payload, acc);
+  const std::uint16_t sum = checksum_finish(acc);
+  out[2] = static_cast<std::uint8_t>(sum >> 8);
+  out[3] = static_cast<std::uint8_t>(sum);
+}
+
+std::optional<IcmpEchoHeader> IcmpEchoHeader::parse(
+    std::span<const std::uint8_t> data) noexcept {
+  if (data.size() < kIcmpEchoHeaderBytes) return std::nullopt;
+  if (data[0] != kTypeEchoReply && data[0] != kTypeEchoRequest) {
+    return std::nullopt;
+  }
+  if (data[1] != 0) return std::nullopt;  // echo messages use code 0
+  if (internet_checksum(data) != 0) return std::nullopt;
+  IcmpEchoHeader header;
+  header.is_reply = data[0] == kTypeEchoReply;
+  header.identifier =
+      static_cast<std::uint16_t>((std::uint16_t{data[4]} << 8) | data[5]);
+  header.sequence =
+      static_cast<std::uint16_t>((std::uint16_t{data[6]} << 8) | data[7]);
+  return header;
+}
+
+Datagram make_icmp_echo(Ipv4Addr src, Ipv4Addr dst, bool is_reply,
+                        std::uint16_t identifier, std::uint16_t sequence,
+                        std::span<const std::uint8_t> payload,
+                        std::uint8_t ttl) {
+  std::vector<std::uint8_t> body(kIcmpEchoHeaderBytes + payload.size());
+  if (!payload.empty()) {
+    std::copy(payload.begin(), payload.end(),
+              body.begin() + kIcmpEchoHeaderBytes);
+  }
+  IcmpEchoHeader header;
+  header.is_reply = is_reply;
+  header.identifier = identifier;
+  header.sequence = sequence;
+  header.serialize(
+      std::span<std::uint8_t, kIcmpEchoHeaderBytes>(body.data(),
+                                                    kIcmpEchoHeaderBytes),
+      payload);
+  return Datagram::make_raw(src, dst, kProtoIcmp, body, ttl);
+}
+
+std::optional<IcmpEchoHeader> parse_icmp_echo(const Datagram& datagram) {
+  const auto ip = datagram.ip();
+  if (!ip || ip->protocol != kProtoIcmp) return std::nullopt;
+  return IcmpEchoHeader::parse(datagram.ip_payload());
+}
+
+std::optional<Datagram> icmp_echo_reply_for(const Datagram& request) {
+  const auto ip = request.ip();
+  const auto echo = parse_icmp_echo(request);
+  if (!ip || !echo || echo->is_reply) return std::nullopt;
+  const auto body = request.ip_payload();
+  return make_icmp_echo(ip->destination, ip->source, /*is_reply=*/true,
+                        echo->identifier, echo->sequence,
+                        body.subspan(kIcmpEchoHeaderBytes));
+}
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,48 @@
+// ICMP echo (ping) wire format — the packet type behind Verfploeter-style
+// active catchment measurement: the origin sends echo requests from an
+// address inside the anycast prefix; replies ingress on the responder's
+// catchment link.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netcore/packet.hpp"
+
+namespace spooftrack::netcore {
+
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::size_t kIcmpEchoHeaderBytes = 8;
+
+struct IcmpEchoHeader {
+  bool is_reply = false;          // type 0 (reply) vs 8 (request)
+  std::uint16_t identifier = 0;   // probe session id
+  std::uint16_t sequence = 0;     // probe sequence number
+
+  /// Serializes the 8-byte echo header with a checksum covering header
+  /// and payload.
+  void serialize(std::span<std::uint8_t, kIcmpEchoHeaderBytes> out,
+                 std::span<const std::uint8_t> payload) const noexcept;
+
+  /// Parses and checksum-verifies an echo message (header + payload).
+  static std::optional<IcmpEchoHeader> parse(
+      std::span<const std::uint8_t> data) noexcept;
+};
+
+/// Builds a full IPv4 ICMP echo datagram.
+Datagram make_icmp_echo(Ipv4Addr src, Ipv4Addr dst, bool is_reply,
+                        std::uint16_t identifier, std::uint16_t sequence,
+                        std::span<const std::uint8_t> payload = {},
+                        std::uint8_t ttl = 64);
+
+/// Parses an echo message out of a datagram; nullopt when the datagram is
+/// not valid ICMP echo.
+std::optional<IcmpEchoHeader> parse_icmp_echo(const Datagram& datagram);
+
+/// Builds the reply a responder would send for a request (addresses
+/// swapped, type flipped, identifier/sequence echoed).
+std::optional<Datagram> icmp_echo_reply_for(const Datagram& request);
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,44 @@
+#include "netcore/ipv4.hpp"
+
+#include <charconv>
+
+namespace spooftrack::netcore {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet != 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    if (cursor == end) return std::nullopt;
+    // Reject leading zeros ("01") but accept a lone "0".
+    if (*cursor == '0' && cursor + 1 != end && cursor[1] >= '0' &&
+        cursor[1] <= '9') {
+      return std::nullopt;
+    }
+    unsigned parsed = 0;
+    auto [next, ec] = std::from_chars(cursor, end, parsed);
+    if (ec != std::errc{} || next == cursor || parsed > 255) {
+      return std::nullopt;
+    }
+    value = (value << 8) | parsed;
+    cursor = next;
+  }
+  if (cursor != end) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(static_cast<unsigned>(octet(i)));
+  }
+  return out;
+}
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,56 @@
+// IPv4 address value type with parsing/formatting. Addresses are stored in
+// host byte order; conversion to network order happens only at the wire
+// boundary (netcore/packet.hpp).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spooftrack::netcore {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Parses dotted-quad notation; rejects leading zeros in octets ("01.2.3.4")
+  /// and any trailing garbage.
+  static std::optional<Ipv4Addr> parse(std::string_view text) noexcept;
+
+  std::string to_string() const;
+
+  constexpr bool is_private() const noexcept;
+  constexpr bool is_loopback() const noexcept {
+    return (value_ >> 24) == 127;
+  }
+  constexpr bool is_multicast() const noexcept {
+    return (value_ >> 28) == 0xE;
+  }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+constexpr bool Ipv4Addr::is_private() const noexcept {
+  const std::uint32_t v = value_;
+  return (v >> 24) == 10 ||                      // 10.0.0.0/8
+         (v >> 20) == (172u << 4 | 1u) ||        // 172.16.0.0/12
+         (v >> 16) == (192u << 8 | 168u);        // 192.168.0.0/16
+}
+
+}  // namespace spooftrack::netcore

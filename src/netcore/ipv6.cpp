@@ -1,0 +1,188 @@
+#include "netcore/ipv6.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+
+namespace spooftrack::netcore {
+
+namespace {
+
+/// Parses one hextet (1-4 hex digits).
+std::optional<std::uint16_t> parse_group(std::string_view field) noexcept {
+  if (field.empty() || field.size() > 4) return std::nullopt;
+  std::uint16_t value = 0;
+  const auto [next, ec] = std::from_chars(
+      field.data(), field.data() + field.size(), value, 16);
+  if (ec != std::errc{} || next != field.data() + field.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view text) noexcept {
+  if (text.size() < 2) return std::nullopt;
+
+  // Split on "::" (at most once).
+  const auto gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;  // two compressions
+  }
+
+  auto split_groups = [](std::string_view part, bool allow_v4_tail,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t start = 0;
+    while (true) {
+      const auto colon = part.find(':', start);
+      const std::string_view field =
+          part.substr(start, colon == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : colon - start);
+      const bool last = colon == std::string_view::npos;
+      if (last && allow_v4_tail &&
+          field.find('.') != std::string_view::npos) {
+        const auto v4 = Ipv4Addr::parse(field);
+        if (!v4) return false;
+        out.push_back(static_cast<std::uint16_t>(v4->value() >> 16));
+        out.push_back(static_cast<std::uint16_t>(v4->value()));
+        return true;
+      }
+      const auto group = parse_group(field);
+      if (!group) return false;
+      out.push_back(*group);
+      if (last) return true;
+      start = colon + 1;
+      if (start >= part.size()) return false;  // trailing single colon
+    }
+  };
+
+  std::vector<std::uint16_t> head, tail;
+  if (gap == std::string_view::npos) {
+    if (!split_groups(text, /*allow_v4_tail=*/true, head)) {
+      return std::nullopt;
+    }
+    if (head.size() != 8) return std::nullopt;
+  } else {
+    if (!split_groups(text.substr(0, gap), false, head)) return std::nullopt;
+    if (!split_groups(text.substr(gap + 2), true, tail)) return std::nullopt;
+    if (head.size() + tail.size() >= 8) return std::nullopt;  // :: covers >=1
+  }
+
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+  return from_groups(groups);
+}
+
+std::string Ipv6Addr::to_string() const {
+  // Find the longest run of zero groups (length >= 2, leftmost wins).
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  auto append_hex = [&](std::uint16_t value) {
+    char buffer[5];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value, 16);
+    (void)ec;
+    out.append(buffer, end);
+  };
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    append_hex(group(i));
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+bool Ipv6Addr::is_loopback() const noexcept {
+  for (int i = 0; i < 15; ++i) {
+    if (bytes_[i] != 0) return false;
+  }
+  return bytes_[15] == 1;
+}
+
+bool Ipv6Addr::is_unspecified() const noexcept {
+  for (std::uint8_t b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+bool Ipv6Addr::is_link_local() const noexcept {
+  return bytes_[0] == 0xFE && (bytes_[1] & 0xC0) == 0x80;
+}
+
+bool Ipv6Addr::is_documentation() const noexcept {
+  return group(0) == 0x2001 && group(1) == 0x0db8;
+}
+
+Ipv6Prefix Ipv6Prefix::make(const Ipv6Addr& base, std::uint8_t len) noexcept {
+  Ipv6Prefix prefix;
+  prefix.len_ = len > 128 ? 128 : len;
+  std::array<std::uint8_t, 16> masked = base.bytes();
+  for (std::size_t bit = prefix.len_; bit < 128; ++bit) {
+    masked[bit / 8] &= static_cast<std::uint8_t>(~(1u << (7 - bit % 8)));
+  }
+  prefix.base_ = Ipv6Addr{masked};
+  return prefix;
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto addr = Ipv6Addr::parse(text);
+    if (!addr) return std::nullopt;
+    return make(*addr, 128);
+  }
+  const auto addr = Ipv6Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  const auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      len > 128) {
+    return std::nullopt;
+  }
+  return make(*addr, static_cast<std::uint8_t>(len));
+}
+
+bool Ipv6Prefix::contains(const Ipv6Addr& addr) const noexcept {
+  for (std::size_t bit = 0; bit < len_; ++bit) {
+    if (addr.bit(bit) != base_.bit(bit)) return false;
+  }
+  return true;
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(static_cast<unsigned>(len_));
+}
+
+}  // namespace spooftrack::netcore

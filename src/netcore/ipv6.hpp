@@ -1,0 +1,101 @@
+// IPv6 address and prefix value types.
+//
+// The AS-level machinery of this library is address-family agnostic, but
+// §VI of the paper analyses competing-prefix dynamics for /24 IPv4 *and*
+// /48 IPv6 announcements, and real deployments of the techniques announce
+// both families. These types mirror netcore/ipv4.hpp: host-order-ish
+// big-endian byte arrays, strict parsing, RFC 5952 canonical formatting.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spooftrack::netcore {
+
+class Ipv6Addr {
+ public:
+  constexpr Ipv6Addr() noexcept : bytes_{} {}
+  constexpr explicit Ipv6Addr(const std::array<std::uint8_t, 16>& bytes)
+      noexcept
+      : bytes_(bytes) {}
+
+  /// Builds from eight 16-bit groups (the textual hextets).
+  static constexpr Ipv6Addr from_groups(
+      const std::array<std::uint16_t, 8>& groups) noexcept {
+    std::array<std::uint8_t, 16> bytes{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      bytes[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+      bytes[2 * i + 1] = static_cast<std::uint8_t>(groups[i]);
+    }
+    return Ipv6Addr{bytes};
+  }
+
+  const std::array<std::uint8_t, 16>& bytes() const noexcept {
+    return bytes_;
+  }
+  constexpr std::uint16_t group(std::size_t i) const noexcept {
+    return static_cast<std::uint16_t>((std::uint16_t{bytes_[2 * i]} << 8) |
+                                      bytes_[2 * i + 1]);
+  }
+
+  /// Bit at position `i` (0 = most significant).
+  constexpr int bit(std::size_t i) const noexcept {
+    return (bytes_[i / 8] >> (7 - i % 8)) & 1;
+  }
+
+  /// Parses RFC 4291 text: full form, "::" compression, and embedded
+  /// dotted-quad tails ("::ffff:192.0.2.1"). Rejects malformed input.
+  static std::optional<Ipv6Addr> parse(std::string_view text) noexcept;
+
+  /// RFC 5952 canonical text: lowercase, no leading zeros, the longest
+  /// (leftmost, length >= 2) zero run compressed to "::".
+  std::string to_string() const;
+
+  bool is_loopback() const noexcept;    // ::1
+  bool is_unspecified() const noexcept; // ::
+  bool is_link_local() const noexcept;  // fe80::/10
+  bool is_multicast() const noexcept {  // ff00::/8
+    return bytes_[0] == 0xFF;
+  }
+  bool is_documentation() const noexcept;  // 2001:db8::/32
+
+  friend constexpr auto operator<=>(const Ipv6Addr&,
+                                    const Ipv6Addr&) noexcept = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_;
+};
+
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() noexcept = default;
+
+  /// Builds a prefix, canonicalising host bits to zero (len clamped to 128).
+  static Ipv6Prefix make(const Ipv6Addr& base, std::uint8_t len) noexcept;
+
+  /// Parses "addr/len"; a bare address parses as a /128.
+  static std::optional<Ipv6Prefix> parse(std::string_view text) noexcept;
+
+  const Ipv6Addr& base() const noexcept { return base_; }
+  std::uint8_t length() const noexcept { return len_; }
+
+  bool contains(const Ipv6Addr& addr) const noexcept;
+  bool contains(const Ipv6Prefix& other) const noexcept {
+    return other.len_ >= len_ && contains(other.base_);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Prefix&,
+                                    const Ipv6Prefix&) noexcept = default;
+
+ private:
+  Ipv6Addr base_{};
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,10 @@
+// LpmTable is header-only (template); this translation unit exists to give
+// the template a home in the build graph and to force an instantiation used
+// widely across the library, catching template errors at library build time.
+#include "netcore/lpm.hpp"
+
+namespace spooftrack::netcore {
+
+template class LpmTable<std::uint32_t>;
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,95 @@
+// Longest-prefix-match table mapping IPv4 prefixes to an arbitrary value.
+// Used by the IP-to-AS mapper (Team Cymru stand-in) and by the IXP table.
+//
+// Implementation: binary trie over address bits. Lookups walk at most 32
+// nodes; inserts create at most `len` nodes. The trie owns its nodes via
+// unique_ptr — no manual memory management (C++ Core Guidelines R.11).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/prefix.hpp"
+
+namespace spooftrack::netcore {
+
+template <typename Value>
+class LpmTable {
+ public:
+  LpmTable() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value for an exact prefix.
+  void insert(const Ipv4Prefix& prefix, Value value) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Longest-prefix lookup; nullopt when no covering prefix exists.
+  std::optional<Value> lookup(Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<Value> best = node->value;
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node && node->value) best = node->value;
+    }
+    return best;
+  }
+
+  /// Exact-match lookup (no covering-prefix fallback).
+  std::optional<Value> exact(const Ipv4Prefix& prefix) const {
+    const Node* node = root_.get();
+    const std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (!node) return std::nullopt;
+    }
+    return node->value;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// All (prefix, value) pairs in lexicographic trie order.
+  std::vector<std::pair<Ipv4Prefix, Value>> entries() const {
+    std::vector<std::pair<Ipv4Prefix, Value>> out;
+    collect(root_.get(), 0, 0, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  void collect(const Node* node, std::uint32_t bits, std::uint8_t depth,
+               std::vector<std::pair<Ipv4Prefix, Value>>& out) const {
+    if (!node) return;
+    if (node->value) {
+      out.emplace_back(Ipv4Prefix::make(Ipv4Addr{bits}, depth), *node->value);
+    }
+    if (depth == 32) return;
+    collect(node->children[0].get(), bits, depth + 1, out);
+    collect(node->children[1].get(),
+            bits | (std::uint32_t{1} << (31 - depth)), depth + 1, out);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,93 @@
+// Minimal IPv4 + UDP wire formats. The spoofed-traffic substrate builds
+// actual byte-accurate datagrams (forged source address and all) so the
+// honeypot and the valid-source classifier operate on real packets, not on
+// abstract tuples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+
+namespace spooftrack::netcore {
+
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = kIpv4HeaderBytes;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  Ipv4Addr source;
+  Ipv4Addr destination;
+
+  /// Serializes a 20-byte header (no options) with a valid checksum.
+  void serialize(std::span<std::uint8_t, kIpv4HeaderBytes> out) const noexcept;
+
+  /// Parses and checksum-verifies a header; nullopt on malformed input.
+  static std::optional<Ipv4Header> parse(
+      std::span<const std::uint8_t> data) noexcept;
+};
+
+struct UdpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t length = kUdpHeaderBytes;
+  std::uint16_t checksum = 0;  // filled by serialize
+
+  void serialize(std::span<std::uint8_t, kUdpHeaderBytes> out,
+                 Ipv4Addr src, Ipv4Addr dst,
+                 std::span<const std::uint8_t> payload) const noexcept;
+
+  static std::optional<UdpHeader> parse(
+      std::span<const std::uint8_t> data) noexcept;
+
+  /// Verifies the UDP checksum against the IPv4 pseudo-header.
+  static bool verify(std::span<const std::uint8_t> datagram, Ipv4Addr src,
+                     Ipv4Addr dst) noexcept;
+};
+
+/// A fully formed UDP-in-IPv4 datagram.
+class Datagram {
+ public:
+  Datagram() = default;
+
+  /// Builds a datagram with valid lengths and checksums.
+  static Datagram make_udp(Ipv4Addr src, Ipv4Addr dst,
+                           std::uint16_t src_port, std::uint16_t dst_port,
+                           std::span<const std::uint8_t> payload,
+                           std::uint8_t ttl = 64);
+
+  /// Builds a raw IPv4 datagram with an arbitrary protocol payload (used
+  /// by the ICMP echo support in netcore/icmp.hpp).
+  static Datagram make_raw(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                           std::span<const std::uint8_t> payload,
+                           std::uint8_t ttl = 64);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+  /// Parses the IPv4 header; nullopt when truncated or corrupted.
+  std::optional<Ipv4Header> ip() const noexcept;
+  /// Parses the UDP header; nullopt when not UDP or truncated.
+  std::optional<UdpHeader> udp() const noexcept;
+  /// UDP payload view (empty when not a valid UDP datagram).
+  std::span<const std::uint8_t> payload() const noexcept;
+
+  /// Raw IPv4 payload view (everything after the header, any protocol;
+  /// empty when the IPv4 header is invalid).
+  std::span<const std::uint8_t> ip_payload() const noexcept;
+
+  /// Decrements TTL in place, re-computing the IPv4 checksum. Returns false
+  /// (and leaves the packet unchanged) when the TTL would reach zero.
+  bool forward_hop() noexcept;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace spooftrack::netcore

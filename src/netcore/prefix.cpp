@@ -1,0 +1,31 @@
+#include "netcore/prefix.hpp"
+
+#include <charconv>
+
+namespace spooftrack::netcore {
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto addr = Ipv4Addr::parse(text);
+    if (!addr) return std::nullopt;
+    return make(*addr, 32);
+  }
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      len > 32) {
+    return std::nullopt;
+  }
+  return make(*addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(static_cast<unsigned>(len_));
+}
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,65 @@
+// IPv4 prefix (CIDR) value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netcore/ipv4.hpp"
+
+namespace spooftrack::netcore {
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Builds a prefix, canonicalising host bits to zero. Requires len <= 32.
+  static constexpr Ipv4Prefix make(Ipv4Addr base, std::uint8_t len) noexcept {
+    Ipv4Prefix p;
+    p.len_ = len > 32 ? 32 : len;
+    p.base_ = Ipv4Addr{base.value() & mask_for(p.len_)};
+    return p;
+  }
+
+  /// Parses "a.b.c.d/len"; also accepts a bare address as a /32.
+  static std::optional<Ipv4Prefix> parse(std::string_view text) noexcept;
+
+  constexpr Ipv4Addr base() const noexcept { return base_; }
+  constexpr std::uint8_t length() const noexcept { return len_; }
+  constexpr std::uint32_t netmask() const noexcept { return mask_for(len_); }
+
+  constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & netmask()) == base_.value();
+  }
+  constexpr bool contains(const Ipv4Prefix& other) const noexcept {
+    return other.len_ >= len_ && contains(other.base_);
+  }
+
+  /// Number of addresses covered (2^(32-len)).
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - len_);
+  }
+
+  /// The i-th address inside the prefix (i taken modulo size()).
+  constexpr Ipv4Addr nth(std::uint64_t i) const noexcept {
+    return Ipv4Addr{base_.value() +
+                    static_cast<std::uint32_t>(i & (size() - 1))};
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&,
+                                    const Ipv4Prefix&) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(std::uint8_t len) noexcept {
+    return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+  }
+
+  Ipv4Addr base_{};
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace spooftrack::netcore

@@ -1,0 +1,108 @@
+#include "topology/caida_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+namespace spooftrack::topology {
+
+namespace {
+
+struct ParsedLine {
+  Asn first = 0;
+  Asn second = 0;
+  int rel = 0;
+};
+
+std::optional<Asn> parse_asn(std::string_view field) noexcept {
+  Asn value = 0;
+  auto [next, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || next != field.data() + field.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<ParsedLine> parse_line(std::string_view line) noexcept {
+  const auto bar1 = line.find('|');
+  if (bar1 == std::string_view::npos) return std::nullopt;
+  const auto bar2 = line.find('|', bar1 + 1);
+  if (bar2 == std::string_view::npos) return std::nullopt;
+  // serial-1 may append extra fields (e.g. inference source); ignore them.
+  auto rel_field = line.substr(bar2 + 1);
+  const auto bar3 = rel_field.find('|');
+  if (bar3 != std::string_view::npos) rel_field = rel_field.substr(0, bar3);
+
+  const auto a = parse_asn(line.substr(0, bar1));
+  const auto b = parse_asn(line.substr(bar1 + 1, bar2 - bar1 - 1));
+  if (!a || !b) return std::nullopt;
+  if (rel_field == "-1") return ParsedLine{*a, *b, -1};
+  if (rel_field == "0") return ParsedLine{*a, *b, 0};
+  return std::nullopt;
+}
+
+}  // namespace
+
+AsGraph read_caida(std::istream& in) {
+  AsGraph graph;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Trim trailing CR from CRLF files.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const auto parsed = parse_line(line);
+    if (!parsed) {
+      throw std::invalid_argument("malformed serial-1 line " +
+                                  std::to_string(line_number) + ": " + line);
+    }
+    if (parsed->rel == -1) {
+      graph.add_p2c(parsed->first, parsed->second);
+    } else {
+      graph.add_p2p(parsed->first, parsed->second);
+    }
+  }
+  graph.freeze();
+  return graph;
+}
+
+AsGraph read_caida_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open relationship file: " + path);
+  }
+  return read_caida(in);
+}
+
+void write_caida(const AsGraph& graph, std::ostream& out) {
+  std::vector<std::pair<Asn, Asn>> p2c;
+  std::vector<std::pair<Asn, Asn>> p2p;
+  for (AsId id = 0; id < graph.size(); ++id) {
+    for (const Neighbor& n : graph.neighbors(id)) {
+      const Asn self = graph.asn_of(id);
+      const Asn other = graph.asn_of(n.id);
+      if (n.rel == Rel::kCustomer) {
+        p2c.emplace_back(self, other);
+      } else if (n.rel == Rel::kPeer && self < other) {
+        p2p.emplace_back(self, other);
+      }
+    }
+  }
+  std::sort(p2c.begin(), p2c.end());
+  std::sort(p2p.begin(), p2p.end());
+  out << "# spooftrack serial-1 export\n";
+  for (const auto& [provider, customer] : p2c) {
+    out << provider << '|' << customer << "|-1\n";
+  }
+  for (const auto& [a, b] : p2p) {
+    out << a << '|' << b << "|0\n";
+  }
+}
+
+}  // namespace spooftrack::topology

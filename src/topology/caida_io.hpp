@@ -1,0 +1,28 @@
+// Reader/writer for CAIDA's AS-relationship "serial-1" format:
+//
+//   # comment lines
+//   <provider-asn>|<customer-asn>|-1
+//   <peer-asn>|<peer-asn>|0
+//
+// The paper derives PEERING's provider neighbourhood from this dataset; we
+// support the format so a real CAIDA snapshot can replace the synthetic
+// topology without code changes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::topology {
+
+/// Parses serial-1 text into a frozen AsGraph. Throws std::invalid_argument
+/// with a line number on malformed input.
+AsGraph read_caida(std::istream& in);
+AsGraph read_caida_file(const std::string& path);
+
+/// Serializes a frozen graph back to serial-1 (p2c lines then p2p lines,
+/// each edge once, sorted for reproducible output).
+void write_caida(const AsGraph& graph, std::ostream& out);
+
+}  // namespace spooftrack::topology

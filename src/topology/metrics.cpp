@@ -1,0 +1,131 @@
+#include "topology/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace spooftrack::topology {
+
+std::vector<std::uint32_t> hop_distances(const AsGraph& graph,
+                                         std::span<const AsId> sources) {
+  std::vector<std::uint32_t> dist(graph.size(), kUnreachable);
+  std::deque<AsId> queue;
+  for (AsId s : sources) {
+    if (s < graph.size() && dist[s] == kUnreachable) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const AsId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& n : graph.neighbors(u)) {
+      if (dist[n.id] == kUnreachable) {
+        dist[n.id] = dist[u] + 1;
+        queue.push_back(n.id);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+/// Kahn topological order of the p2c DAG with providers before customers.
+/// Returns an empty vector when a cycle exists.
+std::vector<AsId> provider_first_order(const AsGraph& graph) {
+  std::vector<std::uint32_t> pending_providers(graph.size(), 0);
+  for (AsId id = 0; id < graph.size(); ++id) {
+    for (const Neighbor& n : graph.neighbors(id)) {
+      if (n.rel == Rel::kProvider) ++pending_providers[id];
+    }
+  }
+  std::vector<AsId> order;
+  order.reserve(graph.size());
+  std::deque<AsId> ready;
+  for (AsId id = 0; id < graph.size(); ++id) {
+    if (pending_providers[id] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    const AsId u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (const Neighbor& n : graph.neighbors(u)) {
+      if (n.rel == Rel::kCustomer && --pending_providers[n.id] == 0) {
+        ready.push_back(n.id);
+      }
+    }
+  }
+  if (order.size() != graph.size()) order.clear();
+  return order;
+}
+
+}  // namespace
+
+bool p2c_acyclic(const AsGraph& graph) {
+  return graph.size() == 0 || !provider_first_order(graph).empty();
+}
+
+bool connected(const AsGraph& graph) {
+  if (graph.size() == 0) return true;
+  const AsId roots[] = {0};
+  const auto dist = hop_distances(graph, roots);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == kUnreachable;
+  });
+}
+
+std::vector<std::uint32_t> customer_cone_sizes(const AsGraph& graph) {
+  const auto order = provider_first_order(graph);
+  if (graph.size() != 0 && order.empty()) {
+    throw std::invalid_argument("customer cones require an acyclic p2c graph");
+  }
+
+  // Bitset DP: cone(p) = {p} | union of cone(c) for customers c. Processing
+  // in reverse provider-first order guarantees customers are done first.
+  const std::size_t words = (graph.size() + 63) / 64;
+  std::vector<std::uint64_t> cones(graph.size() * words, 0);
+  auto cone = [&](AsId id) {
+    return std::span<std::uint64_t>(cones.data() + std::size_t{id} * words,
+                                    words);
+  };
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const AsId id = *it;
+    auto self = cone(id);
+    self[id / 64] |= std::uint64_t{1} << (id % 64);
+    for (const Neighbor& n : graph.neighbors(id)) {
+      if (n.rel != Rel::kCustomer) continue;
+      const auto child = cone(n.id);
+      for (std::size_t w = 0; w < words; ++w) self[w] |= child[w];
+    }
+  }
+
+  std::vector<std::uint32_t> sizes(graph.size(), 0);
+  for (AsId id = 0; id < graph.size(); ++id) {
+    std::uint32_t count = 0;
+    for (std::uint64_t word : cone(id)) {
+      count += static_cast<std::uint32_t>(__builtin_popcountll(word));
+    }
+    sizes[id] = count;
+  }
+  return sizes;
+}
+
+std::vector<AsId> tier1_set(const AsGraph& graph) {
+  std::vector<AsId> out;
+  for (AsId id = 0; id < graph.size(); ++id) {
+    if (graph.is_provider_free(id)) out.push_back(id);
+  }
+  // Provider-free stubs (disconnected oddities in real data) are not
+  // tier-1: a tier-1 must actually transit for someone (cone >= 2).
+  if (out.size() <= 1) return out;
+  const auto cones = customer_cone_sizes(graph);
+  std::vector<AsId> filtered;
+  for (AsId id : out) {
+    if (cones[id] >= 2) filtered.push_back(id);
+  }
+  return filtered.empty() ? out : filtered;
+}
+
+}  // namespace spooftrack::topology

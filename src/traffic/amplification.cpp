@@ -1,0 +1,39 @@
+#include "traffic/amplification.hpp"
+
+namespace spooftrack::traffic {
+
+namespace {
+constexpr AmpProtocolInfo kTable[] = {
+    {AmpProtocol::kDnsAny, "dns-any", 53, 64, 54.0},
+    {AmpProtocol::kNtpMonlist, "ntp-monlist", 123, 8, 556.9},
+    {AmpProtocol::kSsdp, "ssdp", 1900, 90, 30.8},
+    {AmpProtocol::kChargen, "chargen", 19, 1, 358.8},
+    {AmpProtocol::kSnmp, "snmp-v2", 161, 87, 6.3},
+    {AmpProtocol::kMemcached, "memcached", 11211, 15, 10000.0},
+};
+}  // namespace
+
+std::span<const AmpProtocolInfo> amplification_table() noexcept {
+  return kTable;
+}
+
+const AmpProtocolInfo& info(AmpProtocol protocol) noexcept {
+  return kTable[static_cast<std::size_t>(protocol)];
+}
+
+std::uint32_t response_bytes(AmpProtocol protocol) noexcept {
+  const AmpProtocolInfo& p = info(protocol);
+  return static_cast<std::uint32_t>(p.request_bytes * p.amplification);
+}
+
+std::vector<std::uint8_t> make_query_payload(AmpProtocol protocol) {
+  const AmpProtocolInfo& p = info(protocol);
+  std::vector<std::uint8_t> payload(p.request_bytes, 0);
+  payload[0] = static_cast<std::uint8_t>(protocol);
+  for (std::size_t i = 1; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(0x40 + (i & 0x3F));
+  }
+  return payload;
+}
+
+}  // namespace spooftrack::traffic

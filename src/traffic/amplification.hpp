@@ -1,0 +1,43 @@
+// Amplification protocol catalogue. Factors follow the measurement
+// literature the paper builds on (Rossow's "Amplification Hell" and the
+// AmpPot paper): attackers send small queries with the victim's address as
+// the spoofed source; reflectors answer the victim with much larger
+// responses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spooftrack::traffic {
+
+enum class AmpProtocol : std::uint8_t {
+  kDnsAny = 0,
+  kNtpMonlist,
+  kSsdp,
+  kChargen,
+  kSnmp,
+  kMemcached,
+};
+
+struct AmpProtocolInfo {
+  AmpProtocol protocol;
+  const char* name;
+  std::uint16_t udp_port;
+  std::uint16_t request_bytes;  // UDP payload of the query
+  double amplification;         // response bytes / request bytes
+};
+
+/// All supported protocols, ordered by enum value.
+std::span<const AmpProtocolInfo> amplification_table() noexcept;
+
+const AmpProtocolInfo& info(AmpProtocol protocol) noexcept;
+
+/// Bytes a reflector would send the victim for one query.
+std::uint32_t response_bytes(AmpProtocol protocol) noexcept;
+
+/// A deterministic, protocol-tagged query payload of the catalogue size;
+/// byte 0 encodes the protocol so honeypot tests can round-trip it.
+std::vector<std::uint8_t> make_query_payload(AmpProtocol protocol);
+
+}  // namespace spooftrack::traffic

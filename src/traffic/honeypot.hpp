@@ -1,0 +1,84 @@
+// AmpPot-style amplification honeypot (§III-C).
+//
+// The honeypot emulates a vulnerable reflector inside the experiment
+// prefix: it never serves legitimate traffic, so every query it receives is
+// spoofed (scanning or attack). It tallies traffic per ingress peering
+// link — the signal the localization techniques correlate with catchments —
+// and rate-limits emulated responses so it does not itself contribute to
+// attacks (the AmpPot design requirement the paper's footnote discusses).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/announcement.hpp"
+#include "bgp/catchment.hpp"
+#include "netcore/packet.hpp"
+#include "traffic/amplification.hpp"
+
+namespace spooftrack::traffic {
+
+struct HoneypotOptions {
+  /// Emulated responses per second (token bucket); AmpPot keeps this low.
+  double response_rate_limit_pps = 10.0;
+  /// Minimum sustained packets from one victim to classify as an attack
+  /// (fewer looks like scanning).
+  std::uint64_t attack_min_packets = 100;
+};
+
+class AmpPotHoneypot {
+ public:
+  AmpPotHoneypot(std::size_t link_count, HoneypotOptions options = {});
+
+  /// Ingests one packet arriving on `link` at `timestamp` seconds.
+  /// Malformed datagrams (bad checksum, not UDP) are counted separately
+  /// and otherwise ignored.
+  void receive(bgp::LinkId link, const netcore::Datagram& datagram,
+               double timestamp);
+
+  std::uint64_t packets_on(bgp::LinkId link) const noexcept;
+  std::uint64_t bytes_on(bgp::LinkId link) const noexcept;
+  std::uint64_t total_packets() const noexcept;
+  std::uint64_t malformed_packets() const noexcept { return malformed_; }
+
+  /// Per-link share of received packets (sums to 1 when any arrived).
+  std::vector<double> volume_by_link() const;
+
+  /// Response accounting under the rate limit.
+  std::uint64_t responses_sent() const noexcept { return responses_sent_; }
+  std::uint64_t responses_suppressed() const noexcept {
+    return responses_suppressed_;
+  }
+  /// Bytes the rate limiter prevented from being reflected at victims.
+  std::uint64_t reflection_bytes_avoided() const noexcept {
+    return reflection_avoided_;
+  }
+
+  struct VictimStats {
+    netcore::Ipv4Addr victim;
+    std::uint64_t packets = 0;
+    double first_seen = 0;
+    double last_seen = 0;
+  };
+  /// Victims (spoofed sources) whose packet count crosses the attack
+  /// threshold, ordered by packet count descending.
+  std::vector<VictimStats> attacks() const;
+
+ private:
+  HoneypotOptions options_;
+  std::vector<std::uint64_t> packets_;
+  std::vector<std::uint64_t> bytes_;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t responses_sent_ = 0;
+  std::uint64_t responses_suppressed_ = 0;
+  std::uint64_t reflection_avoided_ = 0;
+
+  // Token bucket for response rate limiting.
+  double bucket_tokens_ = 0;
+  double bucket_updated_ = 0;
+
+  std::unordered_map<std::uint32_t, VictimStats> victims_;
+};
+
+}  // namespace spooftrack::traffic

@@ -1,0 +1,51 @@
+#include "traffic/placement.hpp"
+
+#include <cmath>
+
+namespace spooftrack::traffic {
+
+const char* to_string(PlacementKind kind) noexcept {
+  switch (kind) {
+    case PlacementKind::kUniform: return "uniform";
+    case PlacementKind::kPareto8020: return "pareto-80/20";
+    case PlacementKind::kSingleSource: return "single-source";
+  }
+  return "?";
+}
+
+Placement generate_placement(PlacementKind kind, std::size_t source_count,
+                             util::Rng& rng) {
+  Placement placement;
+  placement.volume.assign(source_count, 0.0);
+  if (source_count == 0) return placement;
+
+  switch (kind) {
+    case PlacementKind::kUniform:
+      // Source count per AS drawn uniformly; every AS hosts some sources.
+      for (double& v : placement.volume) {
+        v = static_cast<double>(rng.uniform_int(1, 10));
+      }
+      break;
+    case PlacementKind::kPareto8020:
+      for (double& v : placement.volume) {
+        v = rng.pareto(kPareto8020Shape);
+      }
+      break;
+    case PlacementKind::kSingleSource: {
+      const auto index =
+          static_cast<std::size_t>(rng.next_below(source_count));
+      placement.volume[index] = 1.0;
+      break;
+    }
+  }
+
+  double total = 0.0;
+  for (double v : placement.volume) total += v;
+  for (std::size_t i = 0; i < source_count; ++i) {
+    placement.volume[i] /= total;
+    if (placement.volume[i] > 0.0) placement.active.push_back(i);
+  }
+  return placement;
+}
+
+}  // namespace spooftrack::traffic

@@ -1,0 +1,37 @@
+// Spoofed-source placements (§V-D): how many sources of spoofed traffic
+// each AS hosts. The paper evaluates three distributions — uniform, Pareto
+// shaped for an 80/20 concentration, and a single randomly-placed source —
+// with traffic volume proportional to the source count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spooftrack::traffic {
+
+enum class PlacementKind : std::uint8_t {
+  kUniform = 0,
+  kPareto8020,
+  kSingleSource,
+};
+
+const char* to_string(PlacementKind kind) noexcept;
+
+/// Pareto shape with 80% of mass in the top 20% of ASes
+/// (alpha = log(5)/log(4) ~ 1.16).
+inline constexpr double kPareto8020Shape = 1.160964;
+
+struct Placement {
+  /// Normalized traffic volume per source index; sums to 1.
+  std::vector<double> volume;
+  /// Indices of ASes hosting at least one source.
+  std::vector<std::size_t> active;
+};
+
+/// Draws one placement over `source_count` sources.
+Placement generate_placement(PlacementKind kind, std::size_t source_count,
+                             util::Rng& rng);
+
+}  // namespace spooftrack::traffic

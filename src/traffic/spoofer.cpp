@@ -1,0 +1,64 @@
+#include "traffic/spoofer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spooftrack::traffic {
+
+std::vector<SpoofedFlow> SpoofedTrafficGenerator::flows(
+    const std::vector<topology::AsId>& sources,
+    const std::vector<double>& volume, netcore::Ipv4Addr victim,
+    AmpProtocol protocol, double total_pps) const {
+  std::vector<SpoofedFlow> out;
+  const std::size_t n = std::min(sources.size(), volume.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (volume[i] <= 0.0) continue;
+    SpoofedFlow flow;
+    flow.source_as = sources[i];
+    flow.victim = victim;
+    flow.protocol = protocol;
+    flow.packets_per_second = volume[i] * total_pps;
+    out.push_back(flow);
+  }
+  return out;
+}
+
+netcore::Datagram SpoofedTrafficGenerator::make_packet(
+    const SpoofedFlow& flow, std::uint16_t src_port) const {
+  const auto payload = make_query_payload(flow.protocol);
+  return netcore::Datagram::make_udp(
+      flow.victim, measure::AddressPlan::experiment_target(), src_port,
+      info(flow.protocol).udp_port, payload);
+}
+
+std::vector<ArrivedPacket> SpoofedTrafficGenerator::deliver(
+    const std::vector<SpoofedFlow>& flows,
+    const bgp::CatchmentMap& catchments, double duration,
+    double max_packets) {
+  std::vector<ArrivedPacket> arrivals;
+  for (const SpoofedFlow& flow : flows) {
+    if (flow.source_as >= catchments.size()) continue;
+    const bgp::LinkId link = catchments[flow.source_as];
+    if (link == bgp::kNoCatchment) continue;  // source has no route
+
+    const double expected = flow.packets_per_second * duration;
+    const auto count = static_cast<std::uint64_t>(
+        std::min(max_packets, std::floor(expected + rng_.uniform01())));
+    for (std::uint64_t k = 0; k < count; ++k) {
+      ArrivedPacket arrived;
+      arrived.link = link;
+      arrived.true_source = flow.source_as;
+      arrived.timestamp = rng_.uniform(0.0, duration);
+      arrived.datagram = make_packet(
+          flow, static_cast<std::uint16_t>(1024 + rng_.next_below(60000)));
+      arrivals.push_back(std::move(arrived));
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const ArrivedPacket& a, const ArrivedPacket& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return arrivals;
+}
+
+}  // namespace spooftrack::traffic

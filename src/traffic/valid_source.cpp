@@ -1,0 +1,38 @@
+#include "traffic/valid_source.hpp"
+
+namespace spooftrack::traffic {
+
+const char* to_string(SourceVerdict verdict) noexcept {
+  switch (verdict) {
+    case SourceVerdict::kLegitimate: return "legitimate";
+    case SourceVerdict::kSpoofedWrongLink: return "spoofed-wrong-link";
+    case SourceVerdict::kSpoofedUnknownSource: return "spoofed-unknown-source";
+  }
+  return "?";
+}
+
+ValidSourceInference::ValidSourceInference(std::uint8_t prefix_bits)
+    : prefix_bits_(prefix_bits > 32 ? 32 : prefix_bits) {}
+
+std::uint32_t ValidSourceInference::prefix_key(
+    netcore::Ipv4Addr addr) const noexcept {
+  if (prefix_bits_ == 0) return 0;
+  return addr.value() >> (32 - prefix_bits_);
+}
+
+void ValidSourceInference::learn(bgp::LinkId link, netcore::Ipv4Addr source) {
+  if (link >= 64) return;  // bitmask capacity; far above any real link count
+  seen_[prefix_key(source)] |= std::uint64_t{1} << link;
+}
+
+SourceVerdict ValidSourceInference::classify(
+    bgp::LinkId link, netcore::Ipv4Addr source) const {
+  const auto it = seen_.find(prefix_key(source));
+  if (it == seen_.end()) return SourceVerdict::kSpoofedUnknownSource;
+  if (link < 64 && (it->second & (std::uint64_t{1} << link)) != 0) {
+    return SourceVerdict::kLegitimate;
+  }
+  return SourceVerdict::kSpoofedWrongLink;
+}
+
+}  // namespace spooftrack::traffic

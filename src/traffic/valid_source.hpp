@@ -1,0 +1,45 @@
+// Valid-source inference (§III-C alternative to the honeypot): learn the
+// set of (source prefix -> ingress link) pairs from legitimate traffic and
+// label traffic whose source arrives on an unexpected link — or from a
+// never-seen prefix — as spoofed. This follows Lichtblau et al.'s
+// passive spoofed-traffic detection approach.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/announcement.hpp"
+#include "netcore/ipv4.hpp"
+
+namespace spooftrack::traffic {
+
+enum class SourceVerdict : std::uint8_t {
+  kLegitimate = 0,        // prefix seen before on this link
+  kSpoofedWrongLink,      // prefix known, but never via this link
+  kSpoofedUnknownSource,  // prefix never seen in legitimate traffic
+};
+
+const char* to_string(SourceVerdict verdict) noexcept;
+
+class ValidSourceInference {
+ public:
+  /// Prefix granularity in bits (default /20, matching the address plan).
+  explicit ValidSourceInference(std::uint8_t prefix_bits = 20);
+
+  /// Observes legitimate traffic: `source` was seen ingressing on `link`.
+  void learn(bgp::LinkId link, netcore::Ipv4Addr source);
+
+  SourceVerdict classify(bgp::LinkId link, netcore::Ipv4Addr source) const;
+
+  std::size_t known_prefixes() const noexcept { return seen_.size(); }
+
+ private:
+  std::uint32_t prefix_key(netcore::Ipv4Addr addr) const noexcept;
+
+  std::uint8_t prefix_bits_;
+  /// Prefix -> bitmask of links the prefix legitimately arrived on.
+  std::unordered_map<std::uint32_t, std::uint64_t> seen_;
+};
+
+}  // namespace spooftrack::traffic

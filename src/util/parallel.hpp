@@ -1,0 +1,22 @@
+// Minimal data-parallel helper. Announcement configurations are routed
+// independently, so benches parallelize propagation across a small pool of
+// worker threads. We deliberately keep this a plain blocking parallel_for:
+// deterministic output ordering, no shared mutable state in the tasks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace spooftrack::util {
+
+/// Number of workers parallel_for will use (>= 1); honours the environment
+/// variable SPOOFTRACK_THREADS when set, else hardware_concurrency.
+std::size_t default_worker_count() noexcept;
+
+/// Runs fn(i) for i in [0, count) across `workers` threads (0 = default).
+/// Blocks until all iterations complete. Exceptions in tasks are rethrown
+/// (first one wins) after all workers have stopped.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t workers = 0);
+
+}  // namespace spooftrack::util

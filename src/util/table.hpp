@@ -1,0 +1,37 @@
+// Console table / CSV rendering used by the bench binaries to print the
+// paper's tables and figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spooftrack::util {
+
+/// Fixed-precision formatting helpers.
+std::string fmt_double(double value, int precision = 3);
+std::string fmt_percent(double fraction, int precision = 2);
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with padded columns and a header underline.
+  void print(std::ostream& os) const;
+  /// Render as CSV (quoting cells containing commas or quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (used between figure series in bench output).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace spooftrack::util

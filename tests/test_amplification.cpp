@@ -1,0 +1,48 @@
+#include "traffic/amplification.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spooftrack::traffic {
+namespace {
+
+TEST(Amplification, TableCoversAllProtocols) {
+  const auto table = amplification_table();
+  EXPECT_EQ(table.size(), 6u);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(table[i].protocol), i);
+    EXPECT_GT(table[i].amplification, 1.0);
+    EXPECT_GT(table[i].request_bytes, 0);
+    EXPECT_NE(table[i].name, nullptr);
+  }
+}
+
+TEST(Amplification, InfoMatchesTable) {
+  const auto& ntp = info(AmpProtocol::kNtpMonlist);
+  EXPECT_STREQ(ntp.name, "ntp-monlist");
+  EXPECT_EQ(ntp.udp_port, 123);
+  // NTP monlist is the classic worst case: >500x.
+  EXPECT_GT(ntp.amplification, 500.0);
+}
+
+TEST(Amplification, ResponseBytesScaleWithFactor) {
+  for (const auto& p : amplification_table()) {
+    EXPECT_EQ(response_bytes(p.protocol),
+              static_cast<std::uint32_t>(p.request_bytes * p.amplification));
+    EXPECT_GT(response_bytes(p.protocol), p.request_bytes);
+  }
+}
+
+class PayloadRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PayloadRoundTrip, EncodesProtocolAndSize) {
+  const auto protocol = static_cast<AmpProtocol>(GetParam());
+  const auto payload = make_query_payload(protocol);
+  EXPECT_EQ(payload.size(), info(protocol).request_bytes);
+  EXPECT_EQ(static_cast<AmpProtocol>(payload[0]), protocol);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, PayloadRoundTrip,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace spooftrack::traffic

@@ -1,0 +1,97 @@
+#include "topology/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace spooftrack::topology {
+namespace {
+
+TEST(AsGraph, AddAsIsIdempotent) {
+  AsGraph g;
+  const AsId a = g.add_as(100);
+  const AsId b = g.add_as(100);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(AsGraph, EdgesCreateMirroredRelationships) {
+  AsGraph g;
+  g.add_p2c(1, 2);
+  g.add_p2p(2, 3);
+  g.freeze();
+  const AsId one = *g.id_of(1);
+  const AsId two = *g.id_of(2);
+  const AsId three = *g.id_of(3);
+  EXPECT_EQ(g.relationship(one, two), Rel::kCustomer);  // 2 is 1's customer
+  EXPECT_EQ(g.relationship(two, one), Rel::kProvider);
+  EXPECT_EQ(g.relationship(two, three), Rel::kPeer);
+  EXPECT_EQ(g.relationship(three, two), Rel::kPeer);
+  EXPECT_FALSE(g.relationship(one, three).has_value());
+}
+
+TEST(AsGraph, DuplicateEdgesMerge) {
+  AsGraph g;
+  g.add_p2c(1, 2);
+  g.add_p2c(1, 2);
+  g.freeze();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(*g.id_of(1)), 1u);
+}
+
+TEST(AsGraph, ConflictingRelationshipsThrowAtFreeze) {
+  AsGraph g;
+  g.add_p2c(1, 2);
+  g.add_p2p(1, 2);
+  EXPECT_THROW(g.freeze(), std::invalid_argument);
+}
+
+TEST(AsGraph, SelfLoopsRejected) {
+  AsGraph g;
+  EXPECT_THROW(g.add_p2c(5, 5), std::invalid_argument);
+  EXPECT_THROW(g.add_p2p(7, 7), std::invalid_argument);
+}
+
+TEST(AsGraph, NeighborsWithFiltersByRelationship) {
+  const AsGraph g = test::small_topology();
+  const AsId p1 = *g.id_of(test::kP1);
+  const auto customers = g.neighbors_with(p1, Rel::kCustomer);
+  // p1's customers: a, d, origin.
+  EXPECT_EQ(customers.size(), 3u);
+  const auto providers = g.neighbors_with(p1, Rel::kProvider);
+  ASSERT_EQ(providers.size(), 1u);
+  EXPECT_EQ(g.asn_of(providers[0]), test::kT1);
+}
+
+TEST(AsGraph, ProviderFreeDetection) {
+  const AsGraph g = test::small_topology();
+  EXPECT_TRUE(g.is_provider_free(*g.id_of(test::kT1)));
+  EXPECT_TRUE(g.is_provider_free(*g.id_of(test::kT2)));
+  EXPECT_FALSE(g.is_provider_free(*g.id_of(test::kP1)));
+  EXPECT_FALSE(g.is_provider_free(*g.id_of(test::kA)));
+}
+
+TEST(AsGraph, IdLookupRoundTrips) {
+  const AsGraph g = test::small_topology();
+  for (AsId id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(g.id_of(g.asn_of(id)), id);
+  }
+  EXPECT_FALSE(g.id_of(999999).has_value());
+  EXPECT_FALSE(g.contains(999999));
+  EXPECT_TRUE(g.contains(test::kOrigin));
+}
+
+TEST(AsGraph, EdgeCountCountsUndirectedEdges) {
+  const AsGraph g = test::small_topology();
+  // 1 peering + 10 p2c edges in the fixture.
+  EXPECT_EQ(g.edge_count(), 11u);
+}
+
+TEST(AsGraph, ReverseRelation) {
+  EXPECT_EQ(reverse(Rel::kCustomer), Rel::kProvider);
+  EXPECT_EQ(reverse(Rel::kProvider), Rel::kCustomer);
+  EXPECT_EQ(reverse(Rel::kPeer), Rel::kPeer);
+}
+
+}  // namespace
+}  // namespace spooftrack::topology

@@ -1,0 +1,172 @@
+#include "core/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spooftrack::core {
+namespace {
+
+Clustering make_clustering(std::vector<std::uint32_t> ids,
+                           std::uint32_t count) {
+  Clustering clustering;
+  clustering.cluster_of = std::move(ids);
+  clustering.cluster_count = count;
+  return clustering;
+}
+
+TEST(TrafficBySize, CumulativeVolumeMonotone) {
+  // 5 sources: clusters {0,1}, {2}, {3,4} -> sizes 2,1,2.
+  const auto clustering = make_clustering({0, 0, 1, 2, 2}, 3);
+  const std::vector<double> volume = {0.1, 0.1, 0.5, 0.15, 0.15};
+  const auto result = traffic_by_cluster_size(clustering, volume);
+  ASSERT_EQ(result.cluster_size.size(), 2u);  // sizes 1 and 2
+  EXPECT_EQ(result.cluster_size[0], 1u);
+  EXPECT_NEAR(result.cumulative_volume[0], 0.5, 1e-9);
+  EXPECT_EQ(result.cluster_size[1], 2u);
+  EXPECT_NEAR(result.cumulative_volume[1], 1.0, 1e-9);
+}
+
+TEST(TrafficBySize, SingletonClustersCaptureAllVolume) {
+  const auto clustering = make_clustering({0, 1, 2}, 3);
+  const std::vector<double> volume = {0.2, 0.3, 0.5};
+  const auto result = traffic_by_cluster_size(clustering, volume);
+  ASSERT_EQ(result.cluster_size.size(), 1u);
+  EXPECT_EQ(result.cluster_size[0], 1u);
+  EXPECT_NEAR(result.cumulative_volume[0], 1.0, 1e-9);
+}
+
+TEST(TrafficBySize, SizeMismatchThrows) {
+  const auto clustering = make_clustering({0, 0}, 1);
+  EXPECT_THROW(traffic_by_cluster_size(clustering, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(AttributeClusters, RanksTrueClusterFirst) {
+  // Two configs, three sources in three singleton clusters.
+  // Source 1 is the attacker: volumes concentrate on its catchment link.
+  measure::CatchmentMatrix matrix = {
+      {0, 1, 1},
+      {0, 0, 1},
+  };
+  const auto clustering = make_clustering({0, 1, 2}, 3);
+  // Observed per-link volumes: all traffic follows source 1's trajectory
+  // (link 1 in config 0, link 0 in config 1).
+  const std::vector<std::vector<double>> volumes = {
+      {0.0, 1.0},
+      {1.0, 0.0},
+  };
+  const auto result = attribute_clusters(matrix, clustering, volumes);
+  ASSERT_EQ(result.ranking.size(), 3u);
+  EXPECT_EQ(result.ranking.front(), 1u);
+  EXPECT_GT(result.score[1], result.score[0]);
+  EXPECT_GT(result.score[1], result.score[2]);
+}
+
+TEST(AttributeClusters, SharedTrajectoryTies) {
+  // Sources 0 and 1 always share catchments -> same cluster; the cluster's
+  // score uses one representative and is well-defined.
+  measure::CatchmentMatrix matrix = {
+      {0, 0, 1},
+  };
+  const auto clustering = cluster_sources(matrix);
+  ASSERT_EQ(clustering.cluster_count, 2u);
+  const std::vector<std::vector<double>> volumes = {{0.9, 0.1}};
+  const auto result = attribute_clusters(matrix, clustering, volumes);
+  EXPECT_EQ(result.ranking.front(), clustering.cluster_of[0]);
+}
+
+TEST(AttributeClusters, ConfigCountMismatchThrows) {
+  measure::CatchmentMatrix matrix = {{0, 1}};
+  const auto clustering = make_clustering({0, 1}, 2);
+  EXPECT_THROW(attribute_clusters(matrix, clustering, {}),
+               std::invalid_argument);
+}
+
+TEST(AttributeClusters, MissingCatchmentPenalised) {
+  measure::CatchmentMatrix matrix = {
+      {0, bgp::kNoCatchment},
+  };
+  const auto clustering = make_clustering({0, 1}, 2);
+  const std::vector<std::vector<double>> volumes = {{1.0, 0.0}};
+  const auto result = attribute_clusters(matrix, clustering, volumes);
+  EXPECT_GT(result.score[0], result.score[1]);
+}
+
+TEST(AttributeMixture, RecoversTwoSourceDecomposition) {
+  // Three singleton clusters with distinguishable trajectories; clusters 0
+  // and 2 emit 70% / 30% of the traffic.
+  measure::CatchmentMatrix matrix = {
+      {0, 1, 1},
+      {0, 0, 1},
+      {1, 0, 0},
+  };
+  const auto clustering = make_clustering({0, 1, 2}, 3);
+  // Observed volumes = 0.7 * trajectory(cluster0) + 0.3 * trajectory(c2).
+  const std::vector<std::vector<double>> volumes = {
+      {0.7, 0.3},
+      {0.7, 0.3},
+      {0.3, 0.7},
+  };
+  const auto result = attribute_mixture(matrix, clustering, volumes);
+  ASSERT_EQ(result.components.size(), 2u);
+  EXPECT_EQ(result.components[0].cluster, 0u);
+  EXPECT_NEAR(result.components[0].weight, 0.7, 1e-9);
+  EXPECT_EQ(result.components[1].cluster, 2u);
+  EXPECT_NEAR(result.components[1].weight, 0.3, 1e-9);
+  EXPECT_NEAR(result.residual_fraction, 0.0, 1e-9);
+}
+
+TEST(AttributeMixture, InnocentClustersGetNoWeight) {
+  // Cluster 1's trajectory hits a zero-volume link in config 1, so its
+  // consistent weight is zero.
+  measure::CatchmentMatrix matrix = {
+      {0, 1},
+      {0, 1},
+  };
+  const auto clustering = make_clustering({0, 1}, 2);
+  const std::vector<std::vector<double>> volumes = {
+      {1.0, 0.0},
+      {1.0, 0.0},
+  };
+  const auto result = attribute_mixture(matrix, clustering, volumes);
+  ASSERT_EQ(result.components.size(), 1u);
+  EXPECT_EQ(result.components[0].cluster, 0u);
+  EXPECT_NEAR(result.components[0].weight, 1.0, 1e-9);
+}
+
+TEST(AttributeMixture, MinWeightAndComponentCaps) {
+  measure::CatchmentMatrix matrix = {
+      {0, 1, 1},
+  };
+  const auto clustering = make_clustering({0, 1, 2}, 3);
+  const std::vector<std::vector<double>> volumes = {{0.9, 0.1}};
+  // With a high threshold only the dominant component survives.
+  const auto strict = attribute_mixture(matrix, clustering, volumes, 0.5);
+  EXPECT_EQ(strict.components.size(), 1u);
+  // With max_components = 0 nothing is extracted.
+  const auto none = attribute_mixture(matrix, clustering, volumes, 0.01, 0);
+  EXPECT_TRUE(none.components.empty());
+  EXPECT_NEAR(none.residual_fraction, 1.0, 1e-9);
+}
+
+TEST(AttributeMixture, VolumesNeedNotBeNormalised) {
+  measure::CatchmentMatrix matrix = {
+      {0, 1},
+  };
+  const auto clustering = make_clustering({0, 1}, 2);
+  // Raw packet counts instead of fractions.
+  const std::vector<std::vector<double>> volumes = {{300.0, 100.0}};
+  const auto result = attribute_mixture(matrix, clustering, volumes);
+  ASSERT_EQ(result.components.size(), 2u);
+  EXPECT_NEAR(result.components[0].weight, 0.75, 1e-9);
+  EXPECT_NEAR(result.components[1].weight, 0.25, 1e-9);
+}
+
+TEST(AttributeMixture, MismatchThrows) {
+  const auto clustering = make_clustering({0}, 1);
+  measure::CatchmentMatrix matrix = {{0}};
+  EXPECT_THROW(attribute_mixture(matrix, clustering, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spooftrack::core

@@ -1,0 +1,82 @@
+#include "topology/caida_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spooftrack::topology {
+namespace {
+
+TEST(CaidaIo, ParsesSerial1) {
+  std::istringstream in(
+      "# inferred relationships\n"
+      "3356|100|-1\n"
+      "100|200|-1\n"
+      "3356|174|0\n");
+  const AsGraph g = read_caida(in);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.relationship(*g.id_of(3356), *g.id_of(100)), Rel::kCustomer);
+  EXPECT_EQ(g.relationship(*g.id_of(3356), *g.id_of(174)), Rel::kPeer);
+  EXPECT_TRUE(g.frozen());
+}
+
+TEST(CaidaIo, HandlesCrlfAndExtraFields) {
+  std::istringstream in("1|2|-1|bgp\r\n2|3|0|mlp\r\n");
+  const AsGraph g = read_caida(in);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(CaidaIo, RejectsMalformedLines) {
+  {
+    std::istringstream in("1|2\n");
+    EXPECT_THROW(read_caida(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("1|2|5\n");
+    EXPECT_THROW(read_caida(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("x|2|-1\n");
+    EXPECT_THROW(read_caida(in), std::invalid_argument);
+  }
+}
+
+TEST(CaidaIo, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("# nothing here\n\n");
+  const AsGraph g = read_caida(in);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(CaidaIo, WriteReadRoundTrip) {
+  std::istringstream in(
+      "10|100|-1\n"
+      "10|11|0\n"
+      "11|200|-1\n"
+      "100|1001|-1\n");
+  const AsGraph original = read_caida(in);
+
+  std::ostringstream out;
+  write_caida(original, out);
+  std::istringstream back(out.str());
+  const AsGraph reloaded = read_caida(back);
+
+  EXPECT_EQ(reloaded.size(), original.size());
+  EXPECT_EQ(reloaded.edge_count(), original.edge_count());
+  for (AsId id = 0; id < original.size(); ++id) {
+    const Asn asn = original.asn_of(id);
+    const AsId rid = *reloaded.id_of(asn);
+    for (const Neighbor& n : original.neighbors(id)) {
+      const Asn other = original.asn_of(n.id);
+      EXPECT_EQ(reloaded.relationship(rid, *reloaded.id_of(other)), n.rel);
+    }
+  }
+}
+
+TEST(CaidaIo, MissingFileThrows) {
+  EXPECT_THROW(read_caida_file("/nonexistent/rel.txt"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spooftrack::topology

@@ -1,0 +1,79 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spooftrack::core {
+namespace {
+
+TEST(Campaign, PaperDefaultsAreFeasible) {
+  const CampaignModel model;
+  // 70 >= 2.5 + 3 * 20 = 62.5.
+  EXPECT_TRUE(model.feasible());
+}
+
+TEST(Campaign, InfeasibleWhenDwellTooShort) {
+  CampaignModel model;
+  model.minutes_per_config = 30.0;
+  EXPECT_FALSE(model.feasible());
+}
+
+TEST(Campaign, PaperPlanTakesWeeks) {
+  const CampaignModel model;
+  // 705 configs x 70 min = 49350 min ~ 34.3 days ("takes weeks", SVI).
+  EXPECT_NEAR(model.total_minutes(705), 49350.0, 1e-6);
+  EXPECT_NEAR(model.total_days(705), 34.27, 0.01);
+}
+
+TEST(Campaign, ConcurrentPrefixesDivideWallClock) {
+  CampaignModel model;
+  model.concurrent_prefixes = 4;
+  // ceil(705/4) = 177 batches.
+  EXPECT_NEAR(model.total_minutes(705), 177 * 70.0, 1e-6);
+  model.concurrent_prefixes = 705;
+  EXPECT_NEAR(model.total_minutes(705), 70.0, 1e-6);
+}
+
+TEST(Campaign, EdgeCases) {
+  CampaignModel model;
+  EXPECT_EQ(model.total_minutes(0), 0.0);
+  model.concurrent_prefixes = 0;
+  EXPECT_EQ(model.total_minutes(10), 0.0);
+}
+
+TEST(Campaign, PrefixesForDeadline) {
+  const CampaignModel model;
+  // One week: 7*24*60 = 10080 min -> 144 batches of 70 min; 705/144 -> 5.
+  EXPECT_EQ(model.prefixes_for_deadline(705, 7.0), 5u);
+  // Generous budget: a single prefix suffices.
+  EXPECT_EQ(model.prefixes_for_deadline(705, 40.0), 1u);
+  // Impossible budget: even one configuration does not fit.
+  EXPECT_EQ(model.prefixes_for_deadline(705, 0.01), 0u);
+  EXPECT_EQ(model.prefixes_for_deadline(0, 1.0), 1u);
+}
+
+TEST(Campaign, DeadlineAnswerActuallyFits) {
+  const CampaignModel base;
+  for (double days : {3.0, 7.0, 14.0, 30.0}) {
+    const auto prefixes = base.prefixes_for_deadline(705, days);
+    ASSERT_GT(prefixes, 0u);
+    CampaignModel with = base;
+    with.concurrent_prefixes = prefixes;
+    EXPECT_LE(with.total_days(705), days + 1e-9) << days;
+    // And it is minimal: one fewer prefix would miss the deadline (unless
+    // already at 1).
+    if (prefixes > 1) {
+      with.concurrent_prefixes = prefixes - 1;
+      EXPECT_GT(with.total_days(705), days - 1e-9) << days;
+    }
+  }
+}
+
+TEST(Campaign, DescribeMentionsDays) {
+  CampaignModel model;
+  const auto text = model.describe(705);
+  EXPECT_NE(text.find("705"), std::string::npos);
+  EXPECT_NE(text.find("days"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spooftrack::core

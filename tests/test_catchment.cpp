@@ -1,0 +1,65 @@
+#include "bgp/catchment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace spooftrack::bgp {
+namespace {
+
+class CatchmentTest : public ::testing::Test {
+ protected:
+  CatchmentTest()
+      : graph_(test::small_topology()),
+        policy_(graph_, test::clean_policy_config()),
+        engine_(graph_, policy_),
+        origin_(test::small_origin()) {}
+
+  topology::AsGraph graph_;
+  RoutingPolicy policy_;
+  Engine engine_;
+  OriginSpec origin_;
+};
+
+TEST_F(CatchmentTest, PartitionCoversAllRoutedAses) {
+  const auto config = test::announce_all(2);
+  const auto outcome = engine_.run(origin_, config);
+  const auto map = extract_catchments(outcome, config);
+  // Everything except the origin is routed.
+  EXPECT_EQ(map.routed_count(), graph_.size() - 1);
+  EXPECT_EQ(map.count(0) + map.count(1), map.routed_count());
+  EXPECT_EQ(map[*graph_.id_of(test::kOrigin)], kNoCatchment);
+}
+
+TEST_F(CatchmentTest, MembersMatchCounts) {
+  const auto config = test::announce_all(2);
+  const auto outcome = engine_.run(origin_, config);
+  const auto map = extract_catchments(outcome, config);
+  for (LinkId link : {0u, 1u}) {
+    EXPECT_EQ(map.members(link).size(), map.count(link));
+    for (topology::AsId id : map.members(link)) {
+      EXPECT_EQ(map[id], link);
+    }
+  }
+}
+
+TEST_F(CatchmentTest, SingleLinkCatchmentIsEverything) {
+  Configuration config;
+  config.announcements.push_back({0, 0, {}, {}});
+  const auto outcome = engine_.run(origin_, config);
+  const auto map = extract_catchments(outcome, config);
+  EXPECT_EQ(map.count(0), graph_.size() - 1);
+  EXPECT_EQ(map.count(1), 0u);
+}
+
+TEST_F(CatchmentTest, CatchmentIdentifiesLinkNotAnnouncementIndex) {
+  // Announce only link 1: announcement index 0 maps to link 1.
+  Configuration config;
+  config.announcements.push_back({1, 0, {}, {}});
+  const auto outcome = engine_.run(origin_, config);
+  const auto map = extract_catchments(outcome, config);
+  EXPECT_EQ(map[*graph_.id_of(test::kB)], 1u);
+}
+
+}  // namespace
+}  // namespace spooftrack::bgp

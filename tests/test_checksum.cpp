@@ -1,0 +1,53 @@
+#include "netcore/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace spooftrack::netcore {
+namespace {
+
+TEST(Checksum, RfcExampleHeader) {
+  // Classic worked example (e.g. RFC 1071 / textbook IPv4 header).
+  const std::array<std::uint8_t, 20> header = {
+      0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+      0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(header), 0xb861);
+}
+
+TEST(Checksum, ValidatedHeaderSumsToZero) {
+  std::array<std::uint8_t, 20> header = {
+      0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+      0xb8, 0x61, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(header), 0x0000);
+}
+
+TEST(Checksum, EmptyBufferIsAllOnes) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd = {0x01};
+  // 0x0100 summed, complement = 0xFEFF.
+  EXPECT_EQ(internet_checksum(odd), 0xFEFF);
+}
+
+TEST(Checksum, AccumulateIsChunkInvariant) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::uint16_t whole = internet_checksum(data);
+  // Splitting at even offsets must give the same checksum.
+  std::uint32_t acc = 0;
+  acc = checksum_accumulate(std::span(data).first(4), acc);
+  acc = checksum_accumulate(std::span(data).subspan(4), acc);
+  EXPECT_EQ(checksum_finish(acc), whole);
+}
+
+TEST(Checksum, CarryFolding) {
+  // Many 0xFFFF words force repeated carry folds.
+  const std::vector<std::uint8_t> data(64, 0xFF);
+  EXPECT_EQ(internet_checksum(data), 0x0000);
+}
+
+}  // namespace
+}  // namespace spooftrack::netcore

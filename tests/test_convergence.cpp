@@ -1,0 +1,97 @@
+#include "measure/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace spooftrack::measure {
+namespace {
+
+class ConvergenceTest : public ::testing::Test {
+ protected:
+  ConvergenceTest()
+      : graph_(test::small_topology()),
+        policy_(graph_, test::clean_policy_config()),
+        engine_(graph_, policy_),
+        origin_(test::small_origin()) {}
+
+  topology::AsGraph graph_;
+  bgp::RoutingPolicy policy_;
+  bgp::Engine engine_;
+  bgp::OriginSpec origin_;
+};
+
+TEST_F(ConvergenceTest, SettledRoundsAreRecorded) {
+  const auto outcome = engine_.run(origin_, test::announce_all(2));
+  ASSERT_EQ(outcome.settled_round.size(), graph_.size());
+  // Providers settle in round 1 (direct seed); deeper ASes later.
+  const auto p1 = *graph_.id_of(test::kP1);
+  const auto c = *graph_.id_of(test::kC);
+  EXPECT_EQ(outcome.settled_round[p1], 1u);
+  EXPECT_GE(outcome.settled_round[c], outcome.settled_round[p1]);
+  // The origin never changes.
+  EXPECT_EQ(outcome.settled_round[*graph_.id_of(test::kOrigin)], 0u);
+  // Nothing settles after the last round.
+  for (std::uint32_t r : outcome.settled_round) {
+    EXPECT_LE(r, outcome.rounds);
+  }
+}
+
+TEST_F(ConvergenceTest, SecondsBoundedByRoundsTimesWindow) {
+  const auto outcome = engine_.run(origin_, test::announce_all(2));
+  ConvergenceOptions options;
+  options.spread = 0.0;  // fixed pacing window
+  options.mrai_seconds = 10.0;
+  const ConvergenceModel model(options);
+  const auto seconds = model.per_as_seconds(outcome);
+  for (topology::AsId as = 0; as < graph_.size(); ++as) {
+    const double rounds = outcome.settled_round[as];
+    if (rounds == 0) {
+      EXPECT_DOUBLE_EQ(seconds[as], 0.0);
+    } else {
+      EXPECT_GE(seconds[as], 0.0);
+      EXPECT_LE(seconds[as], rounds * 10.0);
+    }
+  }
+  EXPECT_GT(model.settle_seconds(outcome), 0.0);
+}
+
+TEST_F(ConvergenceTest, SpreadStaysWithinBounds) {
+  const auto outcome = engine_.run(origin_, test::announce_all(2));
+  ConvergenceOptions options;
+  options.mrai_seconds = 20.0;
+  options.spread = 0.5;
+  const ConvergenceModel model(options);
+  const auto seconds = model.per_as_seconds(outcome);
+  for (topology::AsId as = 0; as < graph_.size(); ++as) {
+    const double rounds = outcome.settled_round[as];
+    EXPECT_GE(seconds[as], 0.0);
+    EXPECT_LE(seconds[as], rounds * 30.0 + 1e-9);  // window <= 30 s
+  }
+}
+
+TEST_F(ConvergenceTest, ConvergedByChecksTheBudget) {
+  const auto outcome = engine_.run(origin_, test::announce_all(2));
+  ConvergenceOptions options;
+  options.spread = 0.0;
+  options.mrai_seconds = 15.0;
+  const ConvergenceModel model(options);
+  const double settle = model.settle_seconds(outcome);
+  EXPECT_TRUE(model.converged_by(outcome, settle));
+  EXPECT_FALSE(model.converged_by(outcome, settle - 1.0));
+  // The paper's 2.5-minute convergence budget comfortably covers this
+  // small topology.
+  EXPECT_TRUE(model.converged_by(outcome, 150.0));
+}
+
+TEST_F(ConvergenceTest, DeterministicPerSeed) {
+  const auto outcome = engine_.run(origin_, test::announce_all(2));
+  const ConvergenceModel a{{15.0, 0.5, 1}};
+  const ConvergenceModel b{{15.0, 0.5, 1}};
+  const ConvergenceModel c{{15.0, 0.5, 2}};
+  EXPECT_EQ(a.per_as_seconds(outcome), b.per_as_seconds(outcome));
+  EXPECT_NE(a.per_as_seconds(outcome), c.per_as_seconds(outcome));
+}
+
+}  // namespace
+}  // namespace spooftrack::measure

@@ -1,0 +1,77 @@
+#include "measure/ip2as.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace spooftrack::measure {
+namespace {
+
+TEST(Ip2As, MapsRouterAddressesToOwners) {
+  const auto graph = test::small_topology();
+  const AddressPlan plan(graph);
+  Ip2AsOptions options;
+  options.missing_fraction = 0.0;
+  const auto map = Ip2AsMap::from_plan(graph, plan, test::kOrigin, options);
+  for (topology::AsId id = 0; id < graph.size(); ++id) {
+    EXPECT_EQ(map.lookup(plan.router_address(id, 0)), graph.asn_of(id));
+    EXPECT_EQ(map.lookup(plan.router_address(id, 3)), graph.asn_of(id));
+  }
+}
+
+TEST(Ip2As, ExperimentPrefixMapsToOrigin) {
+  const auto graph = test::small_topology();
+  const AddressPlan plan(graph);
+  const auto map =
+      Ip2AsMap::from_plan(graph, plan, test::kOrigin, {0.0, 1});
+  EXPECT_EQ(map.lookup(AddressPlan::experiment_target()), test::kOrigin);
+}
+
+TEST(Ip2As, MissingFractionLeavesGaps) {
+  const auto graph = test::small_topology();
+  const AddressPlan plan(graph);
+  const auto map = Ip2AsMap::from_plan(graph, plan, test::kOrigin, {1.0, 1});
+  // Every per-AS prefix dropped; only the experiment prefix remains.
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_FALSE(map.lookup(plan.router_address(0, 0)).has_value());
+}
+
+TEST(Ip2As, UnknownSpaceUnmapped) {
+  const auto graph = test::small_topology();
+  const AddressPlan plan(graph);
+  const auto map = Ip2AsMap::from_plan(graph, plan, test::kOrigin, {0.0, 1});
+  EXPECT_FALSE(map.lookup(netcore::Ipv4Addr(8, 8, 8, 8)).has_value());
+}
+
+TEST(Ip2As, ManualAddOverridesLookup) {
+  Ip2AsMap map;
+  map.add(*netcore::Ipv4Prefix::parse("10.0.0.0/8"), 64500);
+  map.add(*netcore::Ipv4Prefix::parse("10.9.0.0/16"), 64501);
+  EXPECT_EQ(map.lookup(netcore::Ipv4Addr(10, 9, 1, 1)), 64501u);
+  EXPECT_EQ(map.lookup(netcore::Ipv4Addr(10, 8, 1, 1)), 64500u);
+}
+
+TEST(AddressPlanTest, PrefixesAreDisjoint) {
+  const auto graph = test::small_topology();
+  const AddressPlan plan(graph);
+  for (topology::AsId a = 0; a < graph.size(); ++a) {
+    for (topology::AsId b = a + 1; b < graph.size(); ++b) {
+      EXPECT_FALSE(plan.prefix_of(a).contains(plan.prefix_of(b)));
+      EXPECT_FALSE(plan.prefix_of(b).contains(plan.prefix_of(a)));
+    }
+  }
+}
+
+TEST(AddressPlanTest, BorderAddressesStayInOwnerPrefix) {
+  const auto graph = test::small_topology();
+  const AddressPlan plan(graph);
+  const auto addr = plan.border_address(1, 2, 3);
+  EXPECT_TRUE(plan.prefix_of(1).contains(addr));
+  // Stable across calls.
+  EXPECT_EQ(plan.border_address(1, 2, 3), addr);
+  // Different link, different slot (overwhelmingly likely by hash).
+  EXPECT_NE(plan.border_address(1, 2, 4), addr);
+}
+
+}  // namespace
+}  // namespace spooftrack::measure

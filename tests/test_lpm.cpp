@@ -1,0 +1,108 @@
+#include "netcore/lpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spooftrack::netcore {
+namespace {
+
+TEST(LpmTable, EmptyLookupIsNull) {
+  LpmTable<int> table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_FALSE(table.lookup(Ipv4Addr(1, 2, 3, 4)).has_value());
+}
+
+TEST(LpmTable, LongestPrefixWins) {
+  LpmTable<int> table;
+  table.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  table.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  table.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(table.lookup(Ipv4Addr(10, 1, 2, 3)).value(), 24);
+  EXPECT_EQ(table.lookup(Ipv4Addr(10, 1, 9, 9)).value(), 16);
+  EXPECT_EQ(table.lookup(Ipv4Addr(10, 200, 0, 1)).value(), 8);
+  EXPECT_FALSE(table.lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(LpmTable, InsertReplacesValue) {
+  LpmTable<int> table;
+  const auto p = *Ipv4Prefix::parse("172.16.0.0/12");
+  table.insert(p, 1);
+  table.insert(p, 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(Ipv4Addr(172, 20, 1, 1)).value(), 2);
+}
+
+TEST(LpmTable, DefaultRouteAtLengthZero) {
+  LpmTable<int> table;
+  table.insert(Ipv4Prefix::make(Ipv4Addr{0}, 0), 99);
+  table.insert(*Ipv4Prefix::parse("192.0.2.0/24"), 1);
+  EXPECT_EQ(table.lookup(Ipv4Addr(192, 0, 2, 5)).value(), 1);
+  EXPECT_EQ(table.lookup(Ipv4Addr(8, 8, 8, 8)).value(), 99);
+}
+
+TEST(LpmTable, HostRoutes) {
+  LpmTable<int> table;
+  table.insert(*Ipv4Prefix::parse("192.0.2.1/32"), 1);
+  EXPECT_EQ(table.lookup(Ipv4Addr(192, 0, 2, 1)).value(), 1);
+  EXPECT_FALSE(table.lookup(Ipv4Addr(192, 0, 2, 2)).has_value());
+}
+
+TEST(LpmTable, ExactMatchIgnoresCoveringPrefixes) {
+  LpmTable<int> table;
+  table.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_FALSE(table.exact(*Ipv4Prefix::parse("10.1.0.0/16")).has_value());
+  EXPECT_EQ(table.exact(*Ipv4Prefix::parse("10.0.0.0/8")).value(), 8);
+}
+
+TEST(LpmTable, EntriesRoundTrip) {
+  LpmTable<int> table;
+  table.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  table.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  table.insert(*Ipv4Prefix::parse("192.0.2.0/24"), 3);
+  const auto entries = table.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  LpmTable<int> copy;
+  for (const auto& [prefix, value] : entries) copy.insert(prefix, value);
+  EXPECT_EQ(copy.lookup(Ipv4Addr(10, 1, 0, 9)).value(), 2);
+  EXPECT_EQ(copy.lookup(Ipv4Addr(192, 0, 2, 9)).value(), 3);
+}
+
+TEST(LpmTable, RandomizedAgainstLinearScan) {
+  // Property check: trie lookups agree with a brute-force longest-match
+  // scan over the inserted prefixes.
+  util::Rng rng{1234};
+  LpmTable<std::uint32_t> table;
+  std::vector<std::pair<Ipv4Prefix, std::uint32_t>> reference;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(4, 28));
+    const Ipv4Addr base{static_cast<std::uint32_t>(rng.next())};
+    const auto prefix = Ipv4Prefix::make(base, len);
+    table.insert(prefix, i);
+    // Replace duplicates in the reference to mirror insert semantics.
+    bool replaced = false;
+    for (auto& [p, v] : reference) {
+      if (p == prefix) {
+        v = i;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) reference.emplace_back(prefix, i);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng.next())};
+    std::optional<std::uint32_t> expected;
+    int best_len = -1;
+    for (const auto& [prefix, value] : reference) {
+      if (prefix.contains(addr) && prefix.length() > best_len) {
+        best_len = prefix.length();
+        expected = value;
+      }
+    }
+    EXPECT_EQ(table.lookup(addr), expected) << addr.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace spooftrack::netcore

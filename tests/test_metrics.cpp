@@ -1,0 +1,117 @@
+#include "topology/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "topology/synth.hpp"
+
+namespace spooftrack::topology {
+namespace {
+
+TEST(Metrics, HopDistancesFromOrigin) {
+  const AsGraph g = test::small_topology();
+  const AsId origin = *g.id_of(test::kOrigin);
+  const AsId sources[] = {origin};
+  const auto dist = hop_distances(g, sources);
+  EXPECT_EQ(dist[origin], 0u);
+  EXPECT_EQ(dist[*g.id_of(test::kP1)], 1u);
+  EXPECT_EQ(dist[*g.id_of(test::kP2)], 1u);
+  EXPECT_EQ(dist[*g.id_of(test::kA)], 2u);
+  EXPECT_EQ(dist[*g.id_of(test::kT1)], 2u);
+  EXPECT_EQ(dist[*g.id_of(test::kC)], 3u);
+}
+
+TEST(Metrics, MultiSourceBfsTakesClosest) {
+  const AsGraph g = test::small_topology();
+  const AsId sources[] = {*g.id_of(test::kA), *g.id_of(test::kB)};
+  const auto dist = hop_distances(g, sources);
+  EXPECT_EQ(dist[*g.id_of(test::kA)], 0u);
+  EXPECT_EQ(dist[*g.id_of(test::kB)], 0u);
+  EXPECT_EQ(dist[*g.id_of(test::kP1)], 1u);
+  EXPECT_EQ(dist[*g.id_of(test::kP2)], 1u);
+}
+
+TEST(Metrics, UnreachableMarked) {
+  AsGraph g;
+  g.add_p2c(1, 2);
+  g.add_as(99);  // isolated
+  g.freeze();
+  const AsId sources[] = {*g.id_of(1)};
+  const auto dist = hop_distances(g, sources);
+  EXPECT_EQ(dist[*g.id_of(99)], kUnreachable);
+}
+
+TEST(Metrics, AcyclicityDetection) {
+  EXPECT_TRUE(p2c_acyclic(test::small_topology()));
+  AsGraph cyclic;
+  cyclic.add_p2c(1, 2);
+  cyclic.add_p2c(2, 3);
+  cyclic.add_p2c(3, 1);
+  cyclic.freeze();
+  EXPECT_FALSE(p2c_acyclic(cyclic));
+}
+
+TEST(Metrics, Connectivity) {
+  EXPECT_TRUE(connected(test::small_topology()));
+  AsGraph split;
+  split.add_p2c(1, 2);
+  split.add_p2c(3, 4);
+  split.freeze();
+  EXPECT_FALSE(connected(split));
+  AsGraph empty;
+  empty.freeze();
+  EXPECT_TRUE(connected(empty));
+}
+
+TEST(Metrics, CustomerConesCountSetSemantics) {
+  const AsGraph g = test::small_topology();
+  const auto cones = customer_cone_sizes(g);
+  // Stubs have cone 1 (just themselves).
+  EXPECT_EQ(cones[*g.id_of(test::kA)], 1u);
+  EXPECT_EQ(cones[*g.id_of(test::kOrigin)], 1u);
+  // p1: {p1, a, d, origin} = 4.
+  EXPECT_EQ(cones[*g.id_of(test::kP1)], 4u);
+  // p2: {p2, b, d, origin} = 4.
+  EXPECT_EQ(cones[*g.id_of(test::kP2)], 4u);
+  // t1: {t1, p1, a, d, origin, c} = 6 — d counted once despite two paths.
+  EXPECT_EQ(cones[*g.id_of(test::kT1)], 6u);
+  // t2: {t2, p2, b, d, origin, e} = 6.
+  EXPECT_EQ(cones[*g.id_of(test::kT2)], 6u);
+}
+
+TEST(Metrics, CustomerConesRejectCycles) {
+  AsGraph cyclic;
+  cyclic.add_p2c(1, 2);
+  cyclic.add_p2c(2, 1);
+  EXPECT_THROW(cyclic.freeze(), std::invalid_argument);
+
+  AsGraph longer;
+  longer.add_p2c(1, 2);
+  longer.add_p2c(2, 3);
+  longer.add_p2c(3, 1);
+  longer.freeze();
+  EXPECT_THROW(customer_cone_sizes(longer), std::invalid_argument);
+}
+
+TEST(Metrics, Tier1SetFindsClique) {
+  const AsGraph g = test::small_topology();
+  const auto tier1 = tier1_set(g);
+  ASSERT_EQ(tier1.size(), 2u);
+  std::vector<Asn> asns{g.asn_of(tier1[0]), g.asn_of(tier1[1])};
+  std::sort(asns.begin(), asns.end());
+  EXPECT_EQ(asns, (std::vector<Asn>{test::kT1, test::kT2}));
+}
+
+TEST(Metrics, Tier1SetOnSynth) {
+  SynthConfig config;
+  config.seed = 8;
+  config.tier1_count = 5;
+  config.transit_count = 20;
+  config.stub_count = 100;
+  const auto topo = synthesize(config);
+  const auto tier1 = tier1_set(topo.graph);
+  EXPECT_EQ(tier1.size(), topo.tier1.size());
+}
+
+}  // namespace
+}  // namespace spooftrack::topology

@@ -1,0 +1,103 @@
+#include "netcore/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spooftrack::netcore {
+namespace {
+
+const Ipv4Addr kSrc{192, 0, 2, 1};
+const Ipv4Addr kDst{198, 51, 100, 7};
+
+std::vector<std::uint8_t> payload_bytes() { return {0xde, 0xad, 0xbe, 0xef}; }
+
+TEST(Datagram, BuildsValidUdpPacket) {
+  const auto payload = payload_bytes();
+  const auto d = Datagram::make_udp(kSrc, kDst, 1234, 53, payload);
+  EXPECT_EQ(d.bytes().size(),
+            kIpv4HeaderBytes + kUdpHeaderBytes + payload.size());
+
+  const auto ip = d.ip();
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->source, kSrc);
+  EXPECT_EQ(ip->destination, kDst);
+  EXPECT_EQ(ip->protocol, kProtoUdp);
+  EXPECT_EQ(ip->total_length, d.bytes().size());
+
+  const auto udp = d.udp();
+  ASSERT_TRUE(udp.has_value());
+  EXPECT_EQ(udp->source_port, 1234);
+  EXPECT_EQ(udp->destination_port, 53);
+  EXPECT_EQ(udp->length, kUdpHeaderBytes + payload.size());
+}
+
+TEST(Datagram, PayloadRoundTrips) {
+  const auto payload = payload_bytes();
+  const auto d = Datagram::make_udp(kSrc, kDst, 1, 2, payload);
+  const auto view = d.payload();
+  ASSERT_EQ(view.size(), payload.size());
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), payload.begin()));
+}
+
+TEST(Datagram, UdpChecksumVerifies) {
+  const auto payload = payload_bytes();
+  const auto d = Datagram::make_udp(kSrc, kDst, 1234, 53, payload);
+  const auto udp_bytes =
+      std::span<const std::uint8_t>(d.bytes()).subspan(kIpv4HeaderBytes);
+  EXPECT_TRUE(UdpHeader::verify(udp_bytes, kSrc, kDst));
+  // Verification against the wrong pseudo-header (spoof check) fails.
+  EXPECT_FALSE(UdpHeader::verify(udp_bytes, Ipv4Addr{1, 2, 3, 4}, kDst));
+}
+
+TEST(Ipv4HeaderTest, CorruptionIsDetected) {
+  const auto d = Datagram::make_udp(kSrc, kDst, 1, 2, payload_bytes());
+  auto bytes = d.bytes();
+  bytes[13] ^= 0x40;  // flip a source-address bit
+  EXPECT_FALSE(Ipv4Header::parse(bytes).has_value());
+}
+
+TEST(Ipv4HeaderTest, RejectsTruncatedAndNonV4) {
+  std::vector<std::uint8_t> short_buf(10, 0);
+  EXPECT_FALSE(Ipv4Header::parse(short_buf).has_value());
+  auto d = Datagram::make_udp(kSrc, kDst, 1, 2, payload_bytes());
+  auto bytes = d.bytes();
+  bytes[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(bytes).has_value());
+}
+
+TEST(Datagram, ForwardHopDecrementsTtlAndKeepsChecksumValid) {
+  auto d = Datagram::make_udp(kSrc, kDst, 1, 2, payload_bytes(), 3);
+  ASSERT_TRUE(d.ip().has_value());
+  EXPECT_EQ(d.ip()->ttl, 3);
+  EXPECT_TRUE(d.forward_hop());
+  ASSERT_TRUE(d.ip().has_value()) << "checksum must be re-valid after hop";
+  EXPECT_EQ(d.ip()->ttl, 2);
+  EXPECT_TRUE(d.forward_hop());
+  EXPECT_EQ(d.ip()->ttl, 1);
+  // TTL 1 cannot be forwarded further.
+  EXPECT_FALSE(d.forward_hop());
+  EXPECT_EQ(d.ip()->ttl, 1);
+}
+
+TEST(Datagram, EmptyPayloadSupported) {
+  const auto d = Datagram::make_udp(kSrc, kDst, 9, 9, {});
+  ASSERT_TRUE(d.udp().has_value());
+  EXPECT_EQ(d.udp()->length, kUdpHeaderBytes);
+  EXPECT_TRUE(d.payload().empty());
+  const auto udp_bytes =
+      std::span<const std::uint8_t>(d.bytes()).subspan(kIpv4HeaderBytes);
+  EXPECT_TRUE(UdpHeader::verify(udp_bytes, kSrc, kDst));
+}
+
+TEST(UdpHeaderTest, RejectsBadLengths) {
+  std::vector<std::uint8_t> buf(8, 0);
+  buf[4] = 0;
+  buf[5] = 4;  // length 4 < header size
+  EXPECT_FALSE(UdpHeader::parse(buf).has_value());
+  buf[5] = 200;  // length beyond buffer
+  EXPECT_FALSE(UdpHeader::parse(buf).has_value());
+}
+
+}  // namespace
+}  // namespace spooftrack::netcore

@@ -1,0 +1,82 @@
+#include "traffic/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace spooftrack::traffic {
+namespace {
+
+TEST(Placement, VolumesNormalised) {
+  util::Rng rng{1};
+  for (auto kind : {PlacementKind::kUniform, PlacementKind::kPareto8020,
+                    PlacementKind::kSingleSource}) {
+    const auto p = generate_placement(kind, 500, rng);
+    EXPECT_EQ(p.volume.size(), 500u);
+    const double total =
+        std::accumulate(p.volume.begin(), p.volume.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << to_string(kind);
+    for (double v : p.volume) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Placement, SingleSourceHasExactlyOneActive) {
+  util::Rng rng{2};
+  const auto p = generate_placement(PlacementKind::kSingleSource, 100, rng);
+  EXPECT_EQ(p.active.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.volume[p.active[0]], 1.0);
+}
+
+TEST(Placement, UniformActivatesEveryAs) {
+  util::Rng rng{3};
+  const auto p = generate_placement(PlacementKind::kUniform, 200, rng);
+  EXPECT_EQ(p.active.size(), 200u);
+}
+
+TEST(Placement, ParetoConcentrates8020) {
+  // Shape is chosen so ~80% of volume sits in the top ~20% of ASes.
+  util::Rng rng{4};
+  double top20_share = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    auto p = generate_placement(PlacementKind::kPareto8020, 1000, rng);
+    std::sort(p.volume.begin(), p.volume.end(), std::greater<>());
+    double top = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) top += p.volume[i];
+    top20_share += top;
+  }
+  top20_share /= trials;
+  EXPECT_NEAR(top20_share, 0.8, 0.08);
+}
+
+TEST(Placement, SingleSourcePositionVaries) {
+  util::Rng rng{5};
+  std::size_t first = generate_placement(PlacementKind::kSingleSource, 1000,
+                                         rng)
+                          .active[0];
+  bool moved = false;
+  for (int i = 0; i < 10; ++i) {
+    if (generate_placement(PlacementKind::kSingleSource, 1000, rng)
+            .active[0] != first) {
+      moved = true;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Placement, EmptySourceSet) {
+  util::Rng rng{6};
+  const auto p = generate_placement(PlacementKind::kUniform, 0, rng);
+  EXPECT_TRUE(p.volume.empty());
+  EXPECT_TRUE(p.active.empty());
+}
+
+TEST(Placement, Names) {
+  EXPECT_STREQ(to_string(PlacementKind::kUniform), "uniform");
+  EXPECT_STREQ(to_string(PlacementKind::kPareto8020), "pareto-80/20");
+  EXPECT_STREQ(to_string(PlacementKind::kSingleSource), "single-source");
+}
+
+}  // namespace
+}  // namespace spooftrack::traffic

@@ -1,0 +1,74 @@
+#include "netcore/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spooftrack::netcore {
+namespace {
+
+TEST(Ipv4Prefix, CanonicalisesHostBits) {
+  const auto p = Ipv4Prefix::make(Ipv4Addr(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(p.length(), 16);
+}
+
+TEST(Ipv4Prefix, ParsesCidrAndBareAddress) {
+  const auto p = Ipv4Prefix::parse("184.164.224.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 24);
+  const auto host = Ipv4Prefix::parse("8.8.8.8");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->length(), 32);
+}
+
+TEST(Ipv4Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3/8").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/-1").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("/8").has_value());
+}
+
+TEST(Ipv4Prefix, ContainsAddresses) {
+  const auto p = *Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 255, 1, 2)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 0, 0, 0)));
+}
+
+TEST(Ipv4Prefix, ContainsSubPrefixes) {
+  const auto big = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto small = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(Ipv4Prefix, SizeAndNth) {
+  const auto p = *Ipv4Prefix::parse("192.0.2.0/24");
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.nth(0).to_string(), "192.0.2.0");
+  EXPECT_EQ(p.nth(255).to_string(), "192.0.2.255");
+  EXPECT_EQ(p.nth(256).to_string(), "192.0.2.0");  // wraps modulo size
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  const auto all = Ipv4Prefix::make(Ipv4Addr{0}, 0);
+  EXPECT_TRUE(all.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Addr{0}));
+}
+
+class PrefixLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixLengthSweep, MaskMatchesLength) {
+  const auto len = static_cast<std::uint8_t>(GetParam());
+  const auto p = Ipv4Prefix::make(Ipv4Addr(203, 0, 113, 7), len);
+  // The base must survive masking, and the prefix must contain its base.
+  EXPECT_EQ(p.base().value() & ~p.netmask(), 0u);
+  EXPECT_TRUE(p.contains(p.base()));
+  EXPECT_EQ(p.size(), std::uint64_t{1} << (32 - len));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixLengthSweep,
+                         ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace spooftrack::netcore

@@ -1,0 +1,174 @@
+// Unit tests of the §IV-b traceroute repair pipeline on hand-crafted traces.
+#include "measure/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace spooftrack::measure {
+namespace {
+
+class RepairTest : public ::testing::Test {
+ protected:
+  RepairTest()
+      : graph_(test::small_topology()),
+        plan_(graph_),
+        ixps_(graph_, 1, 0.0, 5),
+        ip2as_(Ip2AsMap::from_plan(graph_, plan_, test::kOrigin, {0.0, 1})),
+        repair_(graph_, ip2as_, ixps_, test::kOrigin) {}
+
+  topology::AsId id(topology::Asn asn) const { return *graph_.id_of(asn); }
+
+  netcore::Ipv4Addr router(topology::Asn asn, std::uint32_t k = 0) const {
+    return plan_.router_address(id(asn), k);
+  }
+
+  Traceroute trace_of(topology::Asn probe,
+                      std::vector<std::optional<netcore::Ipv4Addr>> hops,
+                      bool reached = true) const {
+    Traceroute t;
+    t.probe = id(probe);
+    for (auto& h : hops) t.hops.push_back({h});
+    t.reached = reached;
+    return t;
+  }
+
+  topology::AsGraph graph_;
+  AddressPlan plan_;
+  IxpTable ixps_;
+  Ip2AsMap ip2as_;
+  PathRepair repair_;
+};
+
+TEST_F(RepairTest, CleanTraceMapsDirectly) {
+  const auto t = trace_of(
+      test::kC, {router(test::kC), router(test::kT1), router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const auto path = repair_.map_only(t);
+  EXPECT_TRUE(path.complete);
+  EXPECT_EQ(path.path, (std::vector<topology::Asn>{test::kC, test::kT1,
+                                                   test::kP1, test::kOrigin}));
+}
+
+TEST_F(RepairTest, ConsecutiveSameAsHopsCollapse) {
+  const auto t = trace_of(
+      test::kC, {router(test::kC), router(test::kT1, 0), router(test::kT1, 1),
+                 router(test::kP1), AddressPlan::experiment_target()});
+  const auto path = repair_.map_only(t);
+  EXPECT_EQ(path.path, (std::vector<topology::Asn>{test::kC, test::kT1,
+                                                   test::kP1, test::kOrigin}));
+}
+
+TEST_F(RepairTest, UnresponsiveGapWithSameAsSidesBridged) {
+  const auto t = trace_of(
+      test::kC, {router(test::kC), router(test::kT1, 0), std::nullopt,
+                 router(test::kT1, 1), router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const auto path = repair_.map_only(t);
+  EXPECT_TRUE(path.complete);
+  EXPECT_EQ(path.path, (std::vector<topology::Asn>{test::kC, test::kT1,
+                                                   test::kP1, test::kOrigin}));
+}
+
+TEST_F(RepairTest, Step2SubstitutesFromOtherTraces) {
+  // Trace A is complete; trace B has an unresponsive run between the same
+  // surrounding addresses, and must inherit A's interior.
+  const auto complete = trace_of(
+      test::kC, {router(test::kC), router(test::kT1), router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const auto gappy = trace_of(
+      test::kC, {router(test::kC), std::nullopt, std::nullopt,
+                 AddressPlan::experiment_target()});
+  const std::vector<Traceroute> batch = {complete, gappy};
+  const auto repaired = repair_.repair(batch, {});
+  ASSERT_EQ(repaired.size(), 2u);
+  EXPECT_EQ(repaired[1].path, repaired[0].path);
+  EXPECT_TRUE(repaired[1].complete);
+}
+
+TEST_F(RepairTest, Step2RefusesConflictingInteriors) {
+  // Two different interiors between the same endpoints: no substitution.
+  const auto via_t1 = trace_of(
+      test::kC, {router(test::kC), router(test::kT1),
+                 AddressPlan::experiment_target()});
+  const auto via_t2 = trace_of(
+      test::kC, {router(test::kC), router(test::kT2),
+                 AddressPlan::experiment_target()});
+  const auto gappy = trace_of(
+      test::kC,
+      {router(test::kC), std::nullopt, AddressPlan::experiment_target()});
+  const std::vector<Traceroute> batch = {via_t1, via_t2, gappy};
+  const auto repaired = repair_.repair(batch, {});
+  // The gap cannot be bridged by step 2; sides differ (kC vs origin), and
+  // no feeds were given, so the unknown hop is dropped.
+  EXPECT_EQ(repaired[2].path,
+            (std::vector<topology::Asn>{test::kC, test::kOrigin}));
+}
+
+TEST_F(RepairTest, Step4FillsAsGapsFromFeeds) {
+  // Gap between c and p1 (different ASes): the feed path c t1 p1 origin
+  // supplies the unique interior t1.
+  FeedEntry feed;
+  feed.peer = id(test::kC);
+  feed.as_path = {test::kC, test::kT1, test::kP1, test::kOrigin};
+  const auto gappy = trace_of(
+      test::kC, {router(test::kC), std::nullopt, router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const std::vector<Traceroute> batch = {gappy};
+  const std::vector<FeedEntry> feeds = {feed};
+  const auto repaired = repair_.repair(batch, feeds);
+  EXPECT_EQ(repaired[0].path,
+            (std::vector<topology::Asn>{test::kC, test::kT1, test::kP1,
+                                        test::kOrigin}));
+}
+
+TEST_F(RepairTest, UnknownHopsDroppedWhenUnresolvable) {
+  const auto t = trace_of(
+      test::kC, {router(test::kC), std::nullopt, router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const auto path = repair_.map_only(t);
+  EXPECT_EQ(path.path, (std::vector<topology::Asn>{test::kC, test::kP1,
+                                                   test::kOrigin}));
+}
+
+TEST_F(RepairTest, IxpHopsAreDropped) {
+  IxpTable all_ixp(graph_, 1, 1.0, 5);
+  PathRepair repair(graph_, ip2as_, all_ixp, test::kOrigin);
+  const auto t = trace_of(
+      test::kC, {router(test::kC), all_ixp.member_address(0, id(test::kT1)),
+                 router(test::kT1), router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const auto path = repair.map_only(t);
+  EXPECT_EQ(path.path, (std::vector<topology::Asn>{test::kC, test::kT1,
+                                                   test::kP1, test::kOrigin}));
+}
+
+TEST_F(RepairTest, IncompleteTraceFlagged) {
+  const auto t = trace_of(test::kC, {router(test::kC), router(test::kT1)},
+                          false);
+  const auto path = repair_.map_only(t);
+  EXPECT_FALSE(path.complete);
+  EXPECT_EQ(path.path.back(), test::kT1);
+}
+
+TEST_F(RepairTest, ProbeAsAlwaysAnchorsThePath) {
+  // Even when the probe's own hops are unresponsive, the path starts at
+  // the probe AS (known from probe metadata).
+  const auto t = trace_of(
+      test::kC, {std::nullopt, router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const auto path = repair_.map_only(t);
+  ASSERT_FALSE(path.path.empty());
+  EXPECT_EQ(path.path.front(), test::kC);
+}
+
+TEST_F(RepairTest, EmptyTraceYieldsProbeOnly) {
+  Traceroute t;
+  t.probe = id(test::kA);
+  const auto path = repair_.map_only(t);
+  EXPECT_EQ(path.path, (std::vector<topology::Asn>{test::kA}));
+  EXPECT_FALSE(path.complete);
+}
+
+}  // namespace
+}  // namespace spooftrack::measure

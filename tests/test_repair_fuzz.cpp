@@ -1,0 +1,157 @@
+// Fuzz-style tests of the traceroute-repair pipeline: random topologies,
+// random loss/addressing artifacts, thousands of traces — the pipeline
+// must never crash, and its outputs must satisfy structural guarantees
+// regardless of how mangled the input is.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "bgp/catchment.hpp"
+#include "core/experiment.hpp"
+#include "measure/repair.hpp"
+#include "measure/traceroute.hpp"
+#include "util/rng.hpp"
+
+namespace spooftrack::measure {
+namespace {
+
+struct FuzzParam {
+  std::uint64_t seed;
+  double hop_loss;
+  double as_silent;
+  double foreign_border;
+  double ip2as_missing;
+};
+
+class RepairFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(RepairFuzz, StructuralGuaranteesUnderNoise) {
+  const FuzzParam param = GetParam();
+
+  core::TestbedConfig config;
+  config.seed = param.seed;
+  config.stub_count = 250;
+  config.transit_count = 30;
+  config.tier1_count = 4;
+  config.measured_catchments = false;
+  const core::PeeringTestbed testbed(config);
+  const auto& graph = testbed.graph();
+
+  const AddressPlan plan(graph);
+  const IxpTable ixps(graph, 6, 0.5, param.seed ^ 0x1A);
+  const Ip2AsMap ip2as = Ip2AsMap::from_plan(
+      graph, plan, core::kPeeringAsn, {param.ip2as_missing, param.seed});
+
+  TracerouteOptions traceroute_options;
+  traceroute_options.hop_unresponsive_prob = param.hop_loss;
+  traceroute_options.as_silent_prob = param.as_silent;
+  traceroute_options.border_foreign_addr_prob = param.foreign_border;
+  traceroute_options.seed = param.seed ^ 0x7E;
+  const TracerouteSim tracer(graph, plan, ixps, traceroute_options);
+  const PathRepair repair(graph, ip2as, ixps, core::kPeeringAsn);
+
+  const auto announce = testbed.generator().location_phase().front();
+  const auto outcome = testbed.route(announce);
+
+  // Probe from every 3rd AS, two rounds each.
+  std::vector<Traceroute> traces;
+  for (topology::AsId probe = 0; probe < graph.size(); probe += 3) {
+    if (probe == testbed.origin_id()) continue;
+    for (std::uint64_t round = 0; round < 2; ++round) {
+      traces.push_back(
+          tracer.run(outcome, probe, testbed.origin_id(), round));
+    }
+  }
+
+  const auto repaired = repair.repair(traces, {});
+  ASSERT_EQ(repaired.size(), traces.size());
+
+  std::unordered_set<topology::Asn> known_asns;
+  for (topology::AsId id = 0; id < graph.size(); ++id) {
+    known_asns.insert(graph.asn_of(id));
+  }
+
+  std::size_t complete = 0;
+  for (std::size_t i = 0; i < repaired.size(); ++i) {
+    const AsLevelPath& path = repaired[i];
+    // Anchored at the probe AS.
+    ASSERT_FALSE(path.path.empty());
+    EXPECT_EQ(path.path.front(), graph.asn_of(traces[i].probe));
+    // No consecutive duplicates.
+    for (std::size_t h = 1; h < path.path.size(); ++h) {
+      EXPECT_NE(path.path[h], path.path[h - 1]);
+    }
+    // Every ASN is real (no fabricated ASes from address confusion).
+    for (topology::Asn asn : path.path) {
+      EXPECT_TRUE(known_asns.contains(asn)) << asn;
+    }
+    // complete <=> ends at the origin ASN.
+    EXPECT_EQ(path.complete, path.path.back() == core::kPeeringAsn);
+    complete += path.complete;
+    // The origin never appears in the middle of a path.
+    for (std::size_t h = 0; h + 1 < path.path.size(); ++h) {
+      EXPECT_NE(path.path[h], core::kPeeringAsn);
+    }
+  }
+
+  // Even under heavy noise a healthy fraction of traces completes
+  // (losses are transient and repair recovers interior gaps).
+  EXPECT_GT(static_cast<double>(complete) /
+                static_cast<double>(repaired.size()),
+            param.hop_loss >= 0.3 ? 0.2 : 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseGrid, RepairFuzz,
+    ::testing::Values(FuzzParam{1, 0.00, 0.00, 0.0, 0.00},
+                      FuzzParam{2, 0.05, 0.02, 0.35, 0.03},
+                      FuzzParam{3, 0.15, 0.05, 0.50, 0.10},
+                      FuzzParam{4, 0.30, 0.10, 0.80, 0.25},
+                      FuzzParam{5, 0.50, 0.20, 1.00, 0.50}));
+
+topology::AsGraph tiny_graph() {
+  topology::AsGraph g;
+  g.add_p2c(100, 1);
+  g.add_p2c(100, core::kPeeringAsn);
+  g.add_p2c(200, 100);
+  g.freeze();
+  return g;
+}
+
+TEST(RepairFuzzExtra, AdversarialHandCraftedTraces) {
+  // Hand-mangled traces: all-silent, alternating loss, single hop, only
+  // the destination, garbage addresses.
+  const auto graph = tiny_graph();
+  const AddressPlan plan(graph);
+  const IxpTable ixps(graph, 1, 0.0, 9);
+  const Ip2AsMap ip2as =
+      Ip2AsMap::from_plan(graph, plan, core::kPeeringAsn, {0.0, 1});
+  const PathRepair repair(graph, ip2as, ixps, core::kPeeringAsn);
+
+  std::vector<Traceroute> traces;
+  auto add = [&](std::vector<std::optional<netcore::Ipv4Addr>> hops) {
+    Traceroute t;
+    t.probe = 0;
+    for (auto& h : hops) t.hops.push_back({h});
+    traces.push_back(std::move(t));
+  };
+  add({});                                          // empty
+  add({std::nullopt, std::nullopt, std::nullopt});  // all silent
+  add({netcore::Ipv4Addr{8, 8, 8, 8}});             // unmapped garbage
+  add({AddressPlan::experiment_target()});          // destination only
+  add({std::nullopt, AddressPlan::experiment_target()});
+  add({plan.router_address(1, 0), std::nullopt, std::nullopt,
+       plan.router_address(1, 1)});  // gap bridged by same AS
+
+  const auto repaired = repair.repair(traces, {});
+  ASSERT_EQ(repaired.size(), traces.size());
+  for (const auto& path : repaired) {
+    ASSERT_FALSE(path.path.empty());
+    EXPECT_EQ(path.path.front(), graph.asn_of(0));
+  }
+  // Destination-only trace resolves to probe + origin.
+  EXPECT_TRUE(repaired[3].complete);
+}
+
+}  // namespace
+}  // namespace spooftrack::measure

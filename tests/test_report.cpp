@@ -1,0 +1,80 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace spooftrack::core {
+namespace {
+
+DeploymentArtifact small_artifact() {
+  TestbedConfig config;
+  config.seed = 19;
+  config.stub_count = 250;
+  config.transit_count = 30;
+  config.tier1_count = 4;
+  config.measured_catchments = false;
+  config.audit_policies = true;
+  const PeeringTestbed testbed(config);
+  GeneratorOptions gen;
+  gen.max_removals = 1;
+  auto plan = testbed.generator(gen).location_phase();
+  const auto result = testbed.deploy(plan);
+  auto artifact = make_artifact(result, config.seed, testbed.graph().size(),
+                                testbed.origin().links.size());
+  artifact.annotate("location_end", plan.size());
+  artifact.annotate("prepend_end", plan.size());
+  return artifact;
+}
+
+TEST(Report, ContainsEverySection) {
+  const auto artifact = small_artifact();
+  const auto text = render_report(artifact);
+  for (const char* needle :
+       {"# Spoofed-source localization campaign report", "## Campaign",
+        "## Localization quality", "## Routing-policy compliance",
+        "## Attack-time runbook", "singleton clusters",
+        "configurations deployed | 8"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, RunbookRespectsStepOption) {
+  const auto artifact = small_artifact();
+  ReportOptions options;
+  options.runbook_steps = 3;
+  const auto text = render_report(artifact, options);
+  EXPECT_NE(text.find("| 3 | `"), std::string::npos);
+  EXPECT_EQ(text.find("| 4 | `"), std::string::npos);
+
+  options.runbook_steps = 0;
+  const auto no_runbook = render_report(artifact, options);
+  EXPECT_EQ(no_runbook.find("runbook"), std::string::npos);
+}
+
+TEST(Report, TailSectionAppearsOnlyWhenTailExists) {
+  const auto artifact = small_artifact();
+  ReportOptions coarse;
+  coarse.tail_threshold = 1;  // plenty of clusters exceed one AS
+  EXPECT_NE(render_report(artifact, coarse).find("Heavy tail"),
+            std::string::npos);
+  ReportOptions generous;
+  generous.tail_threshold = 100000;  // nothing exceeds this
+  EXPECT_EQ(render_report(artifact, generous).find("Heavy tail"),
+            std::string::npos);
+}
+
+TEST(Report, ComplianceSectionOmittedWithoutAudit) {
+  auto artifact = small_artifact();
+  artifact.compliance.clear();
+  const auto text = render_report(artifact);
+  EXPECT_EQ(text.find("Routing-policy compliance"), std::string::npos);
+}
+
+TEST(Report, RendersEmptyArtifactWithoutCrashing) {
+  DeploymentArtifact empty;
+  EXPECT_FALSE(render_report(empty).empty());
+}
+
+}  // namespace
+}  // namespace spooftrack::core

@@ -1,0 +1,164 @@
+#include "core/splitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/catchment.hpp"
+#include <set>
+
+#include "core/experiment.hpp"
+
+namespace spooftrack::core {
+namespace {
+
+struct SplitWorld {
+  SplitWorld() {
+    TestbedConfig config;
+    config.seed = 23;
+    config.stub_count = 600;
+    config.transit_count = 50;
+    config.tier1_count = 5;
+    config.measured_catchments = false;
+    testbed = std::make_unique<PeeringTestbed>(config);
+    baseline = testbed->generator().location_phase().front();
+    outcome = testbed->route(baseline);
+
+    // Cluster with the location phase only, leaving mid-size clusters.
+    GeneratorOptions gen;
+    gen.max_removals = 1;
+    const auto plan = testbed->generator(gen).location_phase();
+    deployment = testbed->deploy(plan);
+    clustering = cluster_sources(deployment.matrix);
+  }
+
+  std::unique_ptr<PeeringTestbed> testbed;
+  bgp::Configuration baseline;
+  bgp::RoutingOutcome outcome;
+  DeploymentResult deployment;
+  Clustering clustering;
+};
+
+TEST(Splitter, HeuristicProposalsTargetStrictSubsets) {
+  SplitWorld world;
+  SplitterOptions options;
+  options.verify_with_engine = false;
+  const auto proposals = propose_splits(
+      world.testbed->engine(), world.testbed->origin(), world.baseline,
+      world.outcome, world.clustering, world.deployment.sources, options);
+  ASSERT_FALSE(proposals.empty());
+  for (const auto& proposal : proposals) {
+    EXPECT_GT(proposal.members_moved, 0u);
+    EXPECT_LT(proposal.members_moved, proposal.cluster_size);
+    EXPECT_GT(proposal.balance, 0.0);
+    EXPECT_LE(proposal.balance, 0.25 + 1e-9);  // x(1-x) peaks at 1/4
+    EXPECT_NE(proposal.target, world.testbed->origin().asn);
+    for (const auto& link : world.testbed->origin().links) {
+      EXPECT_NE(proposal.target, link.provider);
+    }
+  }
+  // Ranked: gain (balance * size) non-increasing.
+  for (std::size_t i = 1; i < proposals.size(); ++i) {
+    EXPECT_GE(proposals[i - 1].balance * proposals[i - 1].cluster_size,
+              proposals[i].balance * proposals[i].cluster_size - 1e-9);
+  }
+}
+
+TEST(Splitter, VerifiedProposalsActuallySplit) {
+  SplitWorld world;
+  const auto proposals = propose_splits(
+      world.testbed->engine(), world.testbed->origin(), world.baseline,
+      world.outcome, world.clustering, world.deployment.sources);
+  ASSERT_FALSE(proposals.empty());
+  // Every verified proposal, when deployed, partitions its cluster into
+  // at least two catchment buckets.
+  const auto members = world.clustering.members();
+  for (const auto& proposal : proposals) {
+    const auto outcome = world.testbed->route(
+        proposal.to_poison_config(world.testbed->origin()));
+    const auto map =
+        bgp::extract_catchments(outcome, world.baseline);
+    std::set<bgp::LinkId> buckets;
+    for (std::uint32_t member : members[proposal.cluster]) {
+      buckets.insert(map[world.deployment.sources[member]]);
+    }
+    EXPECT_GE(buckets.size(), 2u)
+        << "proposal on AS" << proposal.target << " did not split";
+    EXPECT_GT(proposal.balance, 0.0);  // Gini impurity of realised split
+  }
+}
+
+TEST(Splitter, RespectsCaps) {
+  SplitWorld world;
+  SplitterOptions options;
+  options.max_proposals = 3;
+  options.per_cluster = 1;
+  const auto proposals = propose_splits(
+      world.testbed->engine(), world.testbed->origin(), world.baseline,
+      world.outcome, world.clustering, world.deployment.sources, options);
+  EXPECT_LE(proposals.size(), 3u);
+  // per_cluster = 1: no two proposals share a cluster.
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    for (std::size_t j = i + 1; j < proposals.size(); ++j) {
+      EXPECT_NE(proposals[i].cluster, proposals[j].cluster);
+    }
+  }
+}
+
+TEST(Splitter, ConfigBuildersAttachToTheRightLink) {
+  SplitWorld world;
+  const auto proposals = propose_splits(
+      world.testbed->engine(), world.testbed->origin(), world.baseline,
+      world.outcome, world.clustering, world.deployment.sources);
+  ASSERT_FALSE(proposals.empty());
+  const auto& proposal = proposals.front();
+
+  const auto poison = proposal.to_poison_config(world.testbed->origin());
+  EXPECT_EQ(poison.announcements.size(),
+            world.testbed->origin().links.size());
+  EXPECT_EQ(poison.announcements[proposal.link].poisoned,
+            (std::vector<topology::Asn>{proposal.target}));
+  EXPECT_NO_THROW(bgp::validate(poison, world.testbed->origin()));
+
+  const auto community = proposal.to_community_config(world.testbed->origin());
+  EXPECT_EQ(community.announcements[proposal.link].no_export_to,
+            (std::vector<topology::Asn>{proposal.target}));
+  EXPECT_NO_THROW(bgp::validate(community, world.testbed->origin()));
+}
+
+TEST(Splitter, DeployingProposalsSplitsClusters) {
+  SplitWorld world;
+  SplitterOptions options;
+  options.max_proposals = 10;
+  const auto proposals = propose_splits(
+      world.testbed->engine(), world.testbed->origin(), world.baseline,
+      world.outcome, world.clustering, world.deployment.sources, options);
+  ASSERT_FALSE(proposals.empty());
+
+  const std::uint32_t before = world.clustering.cluster_count;
+  ClusterTracker tracker(world.deployment.sources.size());
+  for (const auto& row : world.deployment.matrix) tracker.refine(row);
+
+  std::vector<bgp::Configuration> extra;
+  for (const auto& proposal : proposals) {
+    extra.push_back(proposal.to_poison_config(world.testbed->origin()));
+  }
+  const auto extra_result = world.testbed->deploy(extra);
+  for (const auto& row : extra_result.matrix) {
+    // Columns of the new deployment use the new source set; re-map onto
+    // the original source ordering via ids.
+    (void)row;
+  }
+  // Re-deploy with original sources: build matrix rows from truth.
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    std::vector<bgp::LinkId> row(world.deployment.sources.size());
+    for (std::size_t s = 0; s < world.deployment.sources.size(); ++s) {
+      row[s] =
+          extra_result.truth[i].link_of[world.deployment.sources[s]];
+    }
+    tracker.refine(row);
+  }
+  EXPECT_GT(tracker.cluster_count(), before)
+      << "targeted poisoning should split at least one cluster";
+}
+
+}  // namespace
+}  // namespace spooftrack::core

@@ -1,0 +1,167 @@
+#include "topology/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/metrics.hpp"
+
+namespace spooftrack::topology {
+namespace {
+
+SynthConfig small_config() {
+  SynthConfig config;
+  config.seed = 3;
+  config.tier1_count = 4;
+  config.transit_count = 30;
+  config.stub_count = 300;
+  return config;
+}
+
+TEST(Synth, ProducesRequestedPopulation) {
+  const auto topo = synthesize(small_config());
+  EXPECT_EQ(topo.tier1.size(), 4u);
+  EXPECT_EQ(topo.transit.size(), 30u);
+  EXPECT_EQ(topo.stubs.size(), 300u);
+  EXPECT_EQ(topo.graph.size(), 4u + 30u + 300u);
+  EXPECT_TRUE(topo.graph.frozen());
+}
+
+TEST(Synth, DeterministicForSeed) {
+  const auto a = synthesize(small_config());
+  const auto b = synthesize(small_config());
+  EXPECT_EQ(a.graph.size(), b.graph.size());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.tier1, b.tier1);
+  EXPECT_EQ(a.transit, b.transit);
+}
+
+TEST(Synth, SeedChangesTopology) {
+  auto config = small_config();
+  const auto a = synthesize(config);
+  config.seed = 4;
+  const auto b = synthesize(config);
+  EXPECT_NE(a.graph.edge_count(), b.graph.edge_count());
+}
+
+TEST(Synth, Tier1FormsPeeringClique) {
+  const auto topo = synthesize(small_config());
+  for (Asn x : topo.tier1) {
+    for (Asn y : topo.tier1) {
+      if (x == y) continue;
+      EXPECT_EQ(topo.graph.relationship(*topo.graph.id_of(x),
+                                        *topo.graph.id_of(y)),
+                Rel::kPeer);
+    }
+  }
+}
+
+TEST(Synth, GraphIsValleyFreeFriendly) {
+  const auto topo = synthesize(small_config());
+  EXPECT_TRUE(p2c_acyclic(topo.graph));
+  EXPECT_TRUE(connected(topo.graph));
+}
+
+TEST(Synth, EveryNonTier1HasAProvider) {
+  const auto topo = synthesize(small_config());
+  for (Asn asn : topo.transit) {
+    EXPECT_FALSE(topo.graph.is_provider_free(*topo.graph.id_of(asn)))
+        << "transit AS " << asn;
+  }
+  for (Asn asn : topo.stubs) {
+    EXPECT_FALSE(topo.graph.is_provider_free(*topo.graph.id_of(asn)))
+        << "stub AS " << asn;
+  }
+}
+
+TEST(Synth, ReservedAsnsBecomeWellConnectedTransit) {
+  auto config = small_config();
+  config.reserved_transit_asns = {12859, 5408, 226};
+  const auto topo = synthesize(config);
+  for (Asn asn : config.reserved_transit_asns) {
+    const auto id = topo.graph.id_of(asn);
+    ASSERT_TRUE(id.has_value()) << asn;
+    // The attraction bonus should give reserved ASes a healthy customer
+    // base (enough poison targets for the experiment).
+    EXPECT_GE(topo.graph.degree(*id), 5u) << asn;
+  }
+  // Reserved ASNs appear exactly once, as transit.
+  EXPECT_EQ(topo.transit[0], 12859u);
+  EXPECT_EQ(topo.transit[1], 5408u);
+  EXPECT_EQ(topo.transit[2], 226u);
+}
+
+TEST(Synth, OriginAttachment) {
+  auto config = small_config();
+  config.reserved_transit_asns = {12859, 5408};
+  config.origin_asn = 47065;
+  const auto topo = synthesize(config);
+  const auto origin = topo.graph.id_of(47065);
+  ASSERT_TRUE(origin.has_value());
+  for (Asn provider : config.reserved_transit_asns) {
+    EXPECT_EQ(topo.graph.relationship(*origin, *topo.graph.id_of(provider)),
+              Rel::kProvider);
+  }
+  EXPECT_EQ(topo.graph.degree(*origin), 2u);
+}
+
+TEST(Synth, RejectsBadConfigs) {
+  SynthConfig no_tier1 = small_config();
+  no_tier1.tier1_count = 0;
+  EXPECT_THROW(synthesize(no_tier1), std::invalid_argument);
+
+  SynthConfig too_many_reserved = small_config();
+  too_many_reserved.transit_count = 1;
+  too_many_reserved.reserved_transit_asns = {1, 2, 3};
+  EXPECT_THROW(synthesize(too_many_reserved), std::invalid_argument);
+}
+
+TEST(Synth, DegreeDistributionIsHeavyTailed) {
+  SynthConfig config = small_config();
+  config.stub_count = 1500;
+  const auto topo = synthesize(config);
+  std::vector<std::size_t> degrees;
+  for (AsId id = 0; id < topo.graph.size(); ++id) {
+    degrees.push_back(topo.graph.degree(id));
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  std::size_t total = 0, top = 0;
+  const std::size_t decile = degrees.size() / 10;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    total += degrees[i];
+    if (i < decile) top += degrees[i];
+  }
+  // Preferential attachment: the top decile of ASes holds the majority of
+  // adjacencies (Internet AS graphs are far more skewed still).
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.5);
+  // And the median AS is a small edge network.
+  EXPECT_LE(degrees[degrees.size() / 2], 3u);
+}
+
+TEST(Synth, ReservedPositionFractionMovesCreationOrder) {
+  SynthConfig config = small_config();
+  config.reserved_transit_asns = {12859, 5408};
+  config.reserved_position_fraction = 0.5;
+  const auto topo = synthesize(config);
+  // Reserved ASNs appear mid-pack in the transit creation order.
+  const auto it =
+      std::find(topo.transit.begin(), topo.transit.end(), 12859u);
+  ASSERT_NE(it, topo.transit.end());
+  const auto index =
+      static_cast<std::size_t>(std::distance(topo.transit.begin(), it));
+  EXPECT_GE(index, topo.transit.size() / 4);
+  EXPECT_LT(index, topo.transit.size());
+}
+
+TEST(Synth, ScalesToLargerSizes) {
+  SynthConfig config = small_config();
+  config.transit_count = 120;
+  config.stub_count = 2000;
+  const auto topo = synthesize(config);
+  EXPECT_EQ(topo.graph.size(), 4u + 120u + 2000u);
+  EXPECT_TRUE(p2c_acyclic(topo.graph));
+  EXPECT_TRUE(connected(topo.graph));
+}
+
+}  // namespace
+}  // namespace spooftrack::topology

@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spooftrack::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream oss;
+  EXPECT_NO_THROW(t.print(oss));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote", "say \"hi\""});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Formatting, FixedPrecision) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_percent(0.925, 1), "92.5%");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream oss;
+  print_banner(oss, "Figure 3");
+  EXPECT_NE(oss.str().find("Figure 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spooftrack::util

@@ -1,0 +1,68 @@
+#include "traffic/valid_source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spooftrack::traffic {
+namespace {
+
+const netcore::Ipv4Addr kHostA{20, 0, 0, 17};     // prefix 20.0.0.0/20
+const netcore::Ipv4Addr kHostA2{20, 0, 15, 200};  // same /20
+const netcore::Ipv4Addr kHostB{20, 0, 16, 1};     // next /20
+const netcore::Ipv4Addr kUnseen{198, 51, 100, 1};
+
+TEST(ValidSource, UnknownPrefixIsSpoofed) {
+  ValidSourceInference inference;
+  EXPECT_EQ(inference.classify(0, kUnseen),
+            SourceVerdict::kSpoofedUnknownSource);
+}
+
+TEST(ValidSource, LearnedPrefixOnSameLinkIsLegit) {
+  ValidSourceInference inference;
+  inference.learn(2, kHostA);
+  EXPECT_EQ(inference.classify(2, kHostA), SourceVerdict::kLegitimate);
+  // Any host in the same /20 inherits the verdict.
+  EXPECT_EQ(inference.classify(2, kHostA2), SourceVerdict::kLegitimate);
+}
+
+TEST(ValidSource, WrongLinkIsSpoofed) {
+  ValidSourceInference inference;
+  inference.learn(2, kHostA);
+  EXPECT_EQ(inference.classify(0, kHostA),
+            SourceVerdict::kSpoofedWrongLink);
+}
+
+TEST(ValidSource, AdjacentPrefixNotConfused) {
+  ValidSourceInference inference;
+  inference.learn(1, kHostA);
+  EXPECT_EQ(inference.classify(1, kHostB),
+            SourceVerdict::kSpoofedUnknownSource);
+}
+
+TEST(ValidSource, MultipleLinksAllowed) {
+  // Multi-homed legitimate sources may legitimately appear on two links.
+  ValidSourceInference inference;
+  inference.learn(0, kHostA);
+  inference.learn(3, kHostA);
+  EXPECT_EQ(inference.classify(0, kHostA), SourceVerdict::kLegitimate);
+  EXPECT_EQ(inference.classify(3, kHostA), SourceVerdict::kLegitimate);
+  EXPECT_EQ(inference.classify(1, kHostA),
+            SourceVerdict::kSpoofedWrongLink);
+}
+
+TEST(ValidSource, PrefixGranularityConfigurable) {
+  ValidSourceInference wide(8);  // /8 granularity
+  wide.learn(0, kHostA);
+  EXPECT_EQ(wide.classify(0, kHostB), SourceVerdict::kLegitimate);
+  EXPECT_EQ(wide.known_prefixes(), 1u);
+}
+
+TEST(ValidSource, VerdictNames) {
+  EXPECT_STREQ(to_string(SourceVerdict::kLegitimate), "legitimate");
+  EXPECT_STREQ(to_string(SourceVerdict::kSpoofedWrongLink),
+               "spoofed-wrong-link");
+  EXPECT_STREQ(to_string(SourceVerdict::kSpoofedUnknownSource),
+               "spoofed-unknown-source");
+}
+
+}  // namespace
+}  // namespace spooftrack::traffic

@@ -1,0 +1,471 @@
+// spooftrack — command-line front end for the library.
+//
+//   spooftrack topo     synthesize an Internet-like topology (CAIDA serial-1)
+//   spooftrack plan     print the announcement-configuration plan
+//   spooftrack deploy   run a measurement campaign, save a .artifact file
+//   spooftrack clusters analyse an artifact: clusters, CCDF, tail
+//   spooftrack attack   simulate a spoofing attack and attribute it
+//   spooftrack campaign wall-clock planning for real deployments
+//
+// Every subcommand takes --help. Artifacts written by `deploy` are consumed
+// by `clusters` and `attack`, mirroring the measure-once / analyse-often
+// workflow the paper implies.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/attribution.hpp"
+#include "core/campaign.hpp"
+#include "core/cluster.hpp"
+#include "core/config_gen.hpp"
+#include "core/experiment.hpp"
+#include "core/io.hpp"
+#include "core/prediction.hpp"
+#include "core/report.hpp"
+#include "core/scheduler.hpp"
+#include "topology/caida_io.hpp"
+#include "topology/metrics.hpp"
+#include "topology/synth.hpp"
+#include "traffic/honeypot.hpp"
+#include "traffic/spoofer.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spooftrack;
+
+int usage(int code) {
+  std::cerr
+      << "usage: spooftrack <command> [flags]\n\n"
+         "commands:\n"
+         "  topo      synthesize a topology and print it as CAIDA serial-1\n"
+         "  plan      print the generated announcement configurations\n"
+         "  deploy    run a campaign on the emulated testbed -> artifact\n"
+         "  clusters  cluster analysis of a deployment artifact\n"
+         "  attack    simulate a spoofing attack against an artifact\n"
+         "  report    render an artifact as a Markdown campaign report\n"
+         "  predict   train/evaluate the catchment predictor on an artifact\n"
+         "  campaign  wall-clock planning for real-Internet deployment\n\n"
+         "run 'spooftrack <command> --help' for flags.\n";
+  return code;
+}
+
+util::FlagSet testbed_flags() {
+  util::FlagSet flags;
+  flags.define("seed", "deterministic seed", "42")
+      .define("stubs", "stub AS count", "2500")
+      .define("transit", "transit AS count", "150")
+      .define("tier1", "tier-1 clique size", "8")
+      .define("probes", "RIPE-Atlas-style probe ASes", "800")
+      .define("rounds", "traceroute rounds per configuration", "2")
+      .define_switch("ground-truth",
+                     "use routing ground truth instead of the measured "
+                     "pipeline");
+  return flags;
+}
+
+core::TestbedConfig testbed_config(const util::FlagSet& flags) {
+  core::TestbedConfig config;
+  config.seed = flags.get_u64("seed").value_or(42);
+  config.stub_count = static_cast<std::uint32_t>(
+      flags.get_u64("stubs").value_or(2500));
+  config.transit_count = static_cast<std::uint32_t>(
+      flags.get_u64("transit").value_or(150));
+  config.tier1_count = static_cast<std::uint32_t>(
+      flags.get_u64("tier1").value_or(8));
+  config.probe_count = static_cast<std::uint32_t>(
+      flags.get_u64("probes").value_or(800));
+  config.traceroute_rounds = static_cast<std::uint32_t>(
+      flags.get_u64("rounds").value_or(2));
+  config.measured_catchments = !flags.get_switch("ground-truth");
+  return config;
+}
+
+int run_with_help(util::FlagSet& flags, const std::vector<std::string>& args,
+                  const char* what) {
+  for (const auto& arg : args) {
+    if (arg == "--help") {
+      std::cout << "flags for 'spooftrack " << what << "':\n"
+                << flags.usage();
+      return 0;
+    }
+  }
+  if (!flags.parse(args)) {
+    std::cerr << flags.error() << "\n" << flags.usage();
+    return 2;
+  }
+  return -1;  // continue
+}
+
+// --- topo -----------------------------------------------------------------
+
+int cmd_topo(const std::vector<std::string>& args) {
+  util::FlagSet flags = testbed_flags();
+  flags.define("out", "output path (default: stdout)", "");
+  if (int rc = run_with_help(flags, args, "topo"); rc >= 0) return rc;
+
+  const core::PeeringTestbed testbed(testbed_config(flags));
+  const std::string out_path = flags.get("out");
+  if (out_path.empty()) {
+    topology::write_caida(testbed.graph(), std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    topology::write_caida(testbed.graph(), out);
+    std::cerr << "wrote " << testbed.graph().size() << " ASes / "
+              << testbed.graph().edge_count() << " edges to " << out_path
+              << "\n";
+  }
+  return 0;
+}
+
+// --- plan -----------------------------------------------------------------
+
+int cmd_plan(const std::vector<std::string>& args) {
+  util::FlagSet flags = testbed_flags();
+  flags.define("max-removals", "location phase: max withdrawn links", "3")
+      .define("max-poison", "poisoning phase cap", "347")
+      .define("max-communities", "community phase cap (0 = off)", "0");
+  if (int rc = run_with_help(flags, args, "plan"); rc >= 0) return rc;
+
+  const core::PeeringTestbed testbed(testbed_config(flags));
+  core::GeneratorOptions gen;
+  gen.max_removals = static_cast<std::uint32_t>(
+      flags.get_u64("max-removals").value_or(3));
+  gen.max_poison_configs = flags.get_u64("max-poison").value_or(347);
+  gen.max_community_configs = flags.get_u64("max-communities").value_or(0);
+
+  const auto plan = testbed.generator(gen).full_plan(testbed.graph());
+  util::Table table({"#", "label", "links", "prepended", "poisoned",
+                     "no-export"});
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    std::size_t prepended = 0, poisoned = 0, no_export = 0;
+    for (const auto& spec : plan[i].announcements) {
+      prepended += spec.prepend > 0;
+      poisoned += spec.poisoned.size();
+      no_export += spec.no_export_to.size();
+    }
+    table.add_row({std::to_string(i), plan[i].label,
+                   std::to_string(plan[i].announcements.size()),
+                   std::to_string(prepended), std::to_string(poisoned),
+                   std::to_string(no_export)});
+  }
+  table.print_csv(std::cout);
+  std::cerr << plan.size() << " configurations\n";
+  return 0;
+}
+
+// --- deploy ----------------------------------------------------------------
+
+int cmd_deploy(const std::vector<std::string>& args) {
+  util::FlagSet flags = testbed_flags();
+  flags.define("out", "artifact output path", "deployment.artifact")
+      .define("max-removals", "location phase: max withdrawn links", "3")
+      .define("max-poison", "poisoning phase cap", "347")
+      .define_switch("audit", "collect Figure 9 compliance statistics");
+  if (int rc = run_with_help(flags, args, "deploy"); rc >= 0) return rc;
+
+  core::TestbedConfig config = testbed_config(flags);
+  config.audit_policies = flags.get_switch("audit");
+  const core::PeeringTestbed testbed(config);
+
+  core::GeneratorOptions gen;
+  gen.max_removals = static_cast<std::uint32_t>(
+      flags.get_u64("max-removals").value_or(3));
+  gen.max_poison_configs = flags.get_u64("max-poison").value_or(347);
+  const core::ConfigGenerator generator = testbed.generator(gen);
+  auto location = generator.location_phase();
+  const auto prepends = generator.prepend_phase(location);
+  const auto poisons = generator.poison_phase(testbed.graph());
+  std::vector<bgp::Configuration> plan = location;
+  plan.insert(plan.end(), prepends.begin(), prepends.end());
+  plan.insert(plan.end(), poisons.begin(), poisons.end());
+  const std::size_t location_end = location.size();
+  const std::size_t prepend_end = location.size() + prepends.size();
+
+  std::cerr << "deploying " << plan.size() << " configurations on "
+            << testbed.graph().size() << " ASes...\n";
+  const auto result = testbed.deploy(std::move(plan));
+
+  auto artifact = core::make_artifact(result, config.seed,
+                                      testbed.graph().size(),
+                                      testbed.origin().links.size());
+  artifact.annotate("location_end", location_end);
+  artifact.annotate("prepend_end", prepend_end);
+  core::save_artifact_file(artifact, flags.get("out"));
+  std::cerr << "sources: " << result.sources.size()
+            << ", coverage: " << result.mean_coverage
+            << " ASes/config; wrote " << flags.get("out") << "\n";
+  return 0;
+}
+
+// --- clusters ----------------------------------------------------------------
+
+int cmd_clusters(const std::vector<std::string>& args) {
+  util::FlagSet flags;
+  flags.define("in", "artifact path", "deployment.artifact")
+      .define_switch("ccdf", "print the cluster-size CCDF")
+      .define("greedy", "also print an N-step greedy schedule", "0");
+  if (int rc = run_with_help(flags, args, "clusters"); rc >= 0) return rc;
+
+  const auto artifact = core::load_artifact_file(flags.get("in"));
+  const auto clustering = core::cluster_sources(artifact.matrix);
+  const auto sizes = clustering.sizes();
+  std::size_t singles = 0;
+  std::uint32_t largest = 0;
+  for (std::uint32_t s : sizes) {
+    singles += s == 1;
+    largest = std::max(largest, s);
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"configurations", std::to_string(artifact.configs.size())});
+  table.add_row({"sources", std::to_string(artifact.sources.size())});
+  table.add_row({"clusters", std::to_string(clustering.cluster_count)});
+  table.add_row({"mean cluster size",
+                 util::fmt_double(clustering.mean_size(), 3)});
+  table.add_row({"singleton clusters",
+                 util::fmt_percent(clustering.cluster_count == 0
+                                       ? 0.0
+                                       : static_cast<double>(singles) /
+                                             clustering.cluster_count)});
+  table.add_row({"largest cluster", std::to_string(largest)});
+  table.print(std::cout);
+
+  if (flags.get_switch("ccdf")) {
+    util::Histogram hist;
+    for (std::uint32_t s : sizes) hist.add(s);
+    util::Table ccdf({"size", "ccdf"});
+    for (std::uint64_t x : hist.values()) {
+      ccdf.add_row({std::to_string(x),
+                    util::fmt_double(hist.complementary_at(x), 4)});
+    }
+    util::print_banner(std::cout, "cluster-size CCDF");
+    ccdf.print(std::cout);
+  }
+
+  const auto greedy_steps = flags.get_u64("greedy").value_or(0);
+  if (greedy_steps > 0) {
+    const auto schedule = core::greedy_schedule(
+        artifact.matrix, static_cast<std::size_t>(greedy_steps));
+    util::print_banner(std::cout, "greedy schedule");
+    util::Table greedy({"step", "config", "label", "mean cluster size"});
+    for (std::size_t k = 0; k < schedule.order.size(); ++k) {
+      greedy.add_row({std::to_string(k + 1),
+                      std::to_string(schedule.order[k]),
+                      artifact.configs[schedule.order[k]].label,
+                      util::fmt_double(schedule.mean_cluster_size[k], 2)});
+    }
+    greedy.print(std::cout);
+  }
+  return 0;
+}
+
+// --- attack ----------------------------------------------------------------
+
+int cmd_attack(const std::vector<std::string>& args) {
+  util::FlagSet flags;
+  flags.define("in", "artifact path", "deployment.artifact")
+      .define("attackers", "number of attacking ASes", "2")
+      .define("seed", "attacker placement seed", "7")
+      .define("pps", "per-attacker packets per second", "100");
+  if (int rc = run_with_help(flags, args, "attack"); rc >= 0) return rc;
+
+  const auto artifact = core::load_artifact_file(flags.get("in"));
+  if (artifact.matrix.empty()) {
+    std::cerr << "artifact has no catchment matrix\n";
+    return 1;
+  }
+  const auto clustering = core::cluster_sources(artifact.matrix);
+
+  util::Rng rng{flags.get_u64("seed").value_or(7)};
+  const auto attacker_count = flags.get_u64("attackers").value_or(2);
+  std::vector<std::size_t> attackers;
+  while (attackers.size() < attacker_count) {
+    const auto pick = rng.next_below(artifact.sources.size());
+    if (std::find(attackers.begin(), attackers.end(), pick) ==
+        attackers.end()) {
+      attackers.push_back(pick);
+    }
+  }
+
+  // Observed per-link volumes per configuration (ideal sensor: volume
+  // proportional to each attacker's rate). Rates are distinct — equal-rate
+  // attackers are a degenerate tie where any trajectory alternating
+  // between their links is indistinguishable from a real source.
+  std::vector<std::vector<double>> volumes;
+  for (const auto& row : artifact.matrix) {
+    std::vector<double> per_link(artifact.link_count, 0.0);
+    for (std::size_t i = 0; i < attackers.size(); ++i) {
+      const bgp::LinkId link = row[attackers[i]];
+      if (link != bgp::kNoCatchment) {
+        per_link[link] += static_cast<double>(i + 1);
+      }
+    }
+    volumes.push_back(std::move(per_link));
+  }
+
+  const auto mixture =
+      core::attribute_mixture(artifact.matrix, clustering, volumes);
+
+  util::Table table({"component", "cluster", "ASes", "weight",
+                     "contains attacker"});
+  for (std::size_t rank = 0; rank < mixture.components.size(); ++rank) {
+    const auto& component = mixture.components[rank];
+    bool hit = false;
+    for (std::size_t a : attackers) {
+      hit |= clustering.cluster_of[a] == component.cluster;
+    }
+    table.add_row({std::to_string(rank + 1),
+                   std::to_string(component.cluster),
+                   std::to_string(clustering.sizes()[component.cluster]),
+                   util::fmt_percent(component.weight), hit ? "YES" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "unexplained volume: "
+            << util::fmt_percent(mixture.residual_fraction) << "\n";
+  return 0;
+}
+
+// --- predict ----------------------------------------------------------------
+
+int cmd_predict(const std::vector<std::string>& args) {
+  util::FlagSet flags;
+  flags.define("in", "artifact path", "deployment.artifact")
+      .define("holdout", "evaluate on every k-th configuration", "5");
+  if (int rc = run_with_help(flags, args, "predict"); rc >= 0) return rc;
+
+  const auto artifact = core::load_artifact_file(flags.get("in"));
+  if (artifact.matrix.empty()) {
+    std::cerr << "artifact has no catchment matrix\n";
+    return 1;
+  }
+  const auto holdout = std::max<std::uint64_t>(
+      2, flags.get_u64("holdout").value_or(5));
+
+  core::CatchmentPredictor predictor(artifact.sources.size(),
+                                     artifact.link_count);
+  std::vector<std::size_t> evaluation;
+  for (std::size_t i = 0; i < artifact.configs.size(); ++i) {
+    if (i % holdout == holdout - 1) {
+      evaluation.push_back(i);
+    } else {
+      predictor.observe(
+          core::ConfigDescriptor::from(artifact.configs[i]),
+          artifact.matrix[i]);
+    }
+  }
+
+  util::Accumulator accuracy;
+  for (std::size_t i : evaluation) {
+    accuracy.add(predictor.accuracy(
+        core::ConfigDescriptor::from(artifact.configs[i]),
+        artifact.matrix[i]));
+  }
+  util::Table table({"metric", "value"});
+  table.add_row({"training configurations",
+                 std::to_string(artifact.configs.size() - evaluation.size())});
+  table.add_row({"held-out configurations",
+                 std::to_string(evaluation.size())});
+  table.add_row({"mean per-config accuracy",
+                 util::fmt_percent(accuracy.mean())});
+  table.add_row({"worst held-out config",
+                 util::fmt_percent(accuracy.min())});
+  table.print(std::cout);
+  std::cout << "\nHigh accuracy means future configurations can be chosen "
+               "from predictions\ninstead of deployments (see "
+               "bench/ablation_prediction).\n";
+  return 0;
+}
+
+// --- report ----------------------------------------------------------------
+
+int cmd_report(const std::vector<std::string>& args) {
+  util::FlagSet flags;
+  flags.define("in", "artifact path", "deployment.artifact")
+      .define("out", "output path (default: stdout)", "")
+      .define("runbook-steps", "greedy runbook length", "10")
+      .define("tail-threshold", "cluster size counted as heavy tail", "5");
+  if (int rc = run_with_help(flags, args, "report"); rc >= 0) return rc;
+
+  const auto artifact = core::load_artifact_file(flags.get("in"));
+  core::ReportOptions options;
+  options.runbook_steps = flags.get_u64("runbook-steps").value_or(10);
+  options.tail_threshold = static_cast<std::uint32_t>(
+      flags.get_u64("tail-threshold").value_or(5));
+
+  const std::string out_path = flags.get("out");
+  if (out_path.empty()) {
+    core::write_report(artifact, std::cout, options);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    core::write_report(artifact, out, options);
+    std::cerr << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+// --- campaign ----------------------------------------------------------------
+
+int cmd_campaign(const std::vector<std::string>& args) {
+  util::FlagSet flags;
+  flags.define("configs", "configurations to deploy", "705")
+      .define("minutes", "dwell minutes per configuration", "70")
+      .define("prefixes", "concurrent experiment prefixes", "1")
+      .define("deadline-days", "report prefixes needed for deadline", "0");
+  if (int rc = run_with_help(flags, args, "campaign"); rc >= 0) return rc;
+
+  core::CampaignModel model;
+  model.minutes_per_config =
+      flags.get_double("minutes").value_or(70.0);
+  model.concurrent_prefixes = static_cast<std::uint32_t>(
+      flags.get_u64("prefixes").value_or(1));
+  const auto configs = flags.get_u64("configs").value_or(705);
+
+  std::cout << model.describe(configs) << "\n";
+  std::cout << "schedule feasible: " << (model.feasible() ? "yes" : "NO")
+            << "\n";
+  const double deadline = flags.get_double("deadline-days").value_or(0.0);
+  if (deadline > 0.0) {
+    std::cout << "prefixes needed for " << deadline << " days: "
+              << model.prefixes_for_deadline(configs, deadline) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (command == "topo") return cmd_topo(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "deploy") return cmd_deploy(args);
+    if (command == "clusters") return cmd_clusters(args);
+    if (command == "attack") return cmd_attack(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "--help" || command == "help") return usage(0);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  return usage(2);
+}
