@@ -1,0 +1,116 @@
+// Warm-start campaign propagation: wall-clock comparison of per-config
+// cold propagation versus the memoized, similarity-ordered, warm-started
+// campaign runner on a 100-configuration plan (location + prepending
+// phases, the paper's §III-A(a)/(b) shapes). Verifies outcome equivalence
+// while timing and reports machine-readable JSON.
+//
+// Usage: perf_campaign_warm [--stubs=N] [--transit=N] [--seed=N]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/campaign.hpp"
+#include "core/config_gen.hpp"
+#include "core/experiment.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spooftrack;
+
+double run_timed(const core::PeeringTestbed& testbed,
+                 const std::vector<bgp::Configuration>& plan,
+                 const core::CampaignRunnerOptions& options,
+                 core::CampaignRunStats* stats,
+                 std::vector<bgp::RoutingOutcome>* outcomes) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = core::propagate_campaign_collect(
+      testbed.engine(), testbed.origin(), plan, options, stats);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (outcomes != nullptr) *outcomes = std::move(result);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+
+  core::TestbedConfig config = options.testbed_config();
+  const core::PeeringTestbed testbed(config);
+
+  core::GeneratorOptions gen;
+  auto plan = testbed.generator(gen).location_phase();
+  const auto prepends = testbed.generator(gen).prepend_phase(plan);
+  plan.insert(plan.end(), prepends.begin(), prepends.end());
+  constexpr std::size_t kCampaignSize = 100;
+  if (plan.size() > kCampaignSize) plan.resize(kCampaignSize);
+
+  core::CampaignRunnerOptions cold_options;
+  cold_options.warm_start = false;
+  cold_options.memoize = false;
+  cold_options.order_chains = false;
+
+  core::CampaignRunnerOptions warm_options;  // defaults: everything on
+
+  // Warm-up pass (page in the topology, steady up the allocator), then one
+  // timed pass per mode; best of two timed passes guards against scheduler
+  // noise.
+  run_timed(testbed, plan, cold_options, nullptr, nullptr);
+
+  core::CampaignRunStats cold_stats;
+  std::vector<bgp::RoutingOutcome> cold_outcomes;
+  double cold_ms = run_timed(testbed, plan, cold_options, &cold_stats,
+                             &cold_outcomes);
+  cold_ms = std::min(cold_ms, run_timed(testbed, plan, cold_options,
+                                        nullptr, nullptr));
+
+  core::CampaignRunStats warm_stats;
+  std::vector<bgp::RoutingOutcome> warm_outcomes;
+  double warm_ms = run_timed(testbed, plan, warm_options, &warm_stats,
+                             &warm_outcomes);
+  warm_ms = std::min(warm_ms, run_timed(testbed, plan, warm_options,
+                                        nullptr, nullptr));
+
+  // The speedup claim is only meaningful if warm outcomes are identical.
+  std::size_t mismatched_ases = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    for (topology::AsId as = 0; as < testbed.graph().size(); ++as) {
+      if (!(cold_outcomes[i].best[as] == warm_outcomes[i].best[as]) ||
+          cold_outcomes[i].next_hop[as] != warm_outcomes[i].next_hop[as]) {
+        ++mismatched_ases;
+      }
+    }
+  }
+
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  std::cout << "{\n"
+            << "  \"bench\": \"perf_campaign_warm\",\n"
+            << "  \"configs\": " << plan.size() << ",\n"
+            << "  \"as_count\": " << testbed.graph().size() << ",\n"
+            << "  \"workers\": " << util::default_worker_count() << ",\n"
+            << "  \"cold_ms\": " << util::fmt_double(cold_ms, 2) << ",\n"
+            << "  \"warm_ms\": " << util::fmt_double(warm_ms, 2) << ",\n"
+            << "  \"speedup\": " << util::fmt_double(speedup, 2) << ",\n"
+            << "  \"cold_rounds\": " << cold_stats.total_rounds << ",\n"
+            << "  \"warm_rounds\": " << warm_stats.total_rounds << ",\n"
+            << "  \"warm_chain_heads\": " << warm_stats.cold_runs << ",\n"
+            << "  \"warm_runs\": " << warm_stats.warm_runs << ",\n"
+            << "  \"memo_hits\": " << warm_stats.memo_hits << ",\n"
+            << "  \"equivalent\": "
+            << (mismatched_ases == 0 ? "true" : "false") << "\n"
+            << "}\n";
+
+  if (mismatched_ases != 0) {
+    std::cerr << "FAIL: " << mismatched_ases
+              << " (config, AS) cells differ between cold and warm "
+                 "propagation\n";
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace spooftrack::bgp {
 
@@ -73,55 +74,96 @@ SeedTable build_seeds(const topology::AsGraph& graph,
   return table;
 }
 
-}  // namespace
+/// True when AS `p` sees exactly the same announcement behaviour under both
+/// configurations: same seed presence, announcement id, seed AS-path, and
+/// no-export target set of that announcement. This is the full set of
+/// configuration inputs that influence p's own route computation and the
+/// no-export filtering its neighbors apply to routes learned from p.
+bool seed_entry_equal(AsId p, const SeedTable& a, const Configuration& ca,
+                      const SeedTable& b, const Configuration& cb) {
+  if (a.has_seed[p] != b.has_seed[p]) return false;
+  if (!a.has_seed[p]) return true;
+  const Seed& sa = a.seed_of[p];
+  const Seed& sb = b.seed_of[p];
+  if (sa.ann != sb.ann || sa.path != sb.path) return false;
+  return ca.announcements[sa.ann].no_export_to ==
+         cb.announcements[sb.ann].no_export_to;
+}
 
-RoutingOutcome Engine::run(const OriginSpec& origin,
-                           const Configuration& config) const {
-  const SeedTable seeds = build_seeds(graph_, origin, config);
+/// True when p's export filtering toward its neighbors is identical under
+/// both configurations. A neighbor blocks a route learned from p iff p is
+/// seeded, the route carries p's seed announcement, and the neighbor is on
+/// that announcement's no-export list — so the decision function is
+/// unchanged when both effective no-export lists are empty (nothing is ever
+/// blocked), or when p is seeded on the same announcement id with the same
+/// list under both. Only when this differs do p's neighbors need round-0
+/// activation; a change to p's own route reaches them through ordinary
+/// changed-neighbor tracking.
+bool export_filter_equal(AsId p, const SeedTable& a, const Configuration& ca,
+                         const SeedTable& b, const Configuration& cb) {
+  static const std::vector<topology::Asn> kEmpty;
+  const auto& ea = a.has_seed[p]
+                       ? ca.announcements[a.seed_of[p].ann].no_export_to
+                       : kEmpty;
+  const auto& eb = b.has_seed[p]
+                       ? cb.announcements[b.seed_of[p].ann].no_export_to
+                       : kEmpty;
+  if (ea.empty() && eb.empty()) return true;
+  return a.has_seed[p] && b.has_seed[p] &&
+         a.seed_of[p].ann == b.seed_of[p].ann && ea == eb;
+}
+
+/// The shared Jacobi fixed-point loop behind Engine::run and
+/// Engine::run_warm. `current`/`current_from` is the starting routing state
+/// (all-invalid on a cold start, the baseline fixed point on a warm start)
+/// and `active_round0` selects which ASes recompute in round 0.
+RoutingOutcome propagate(const topology::AsGraph& graph_,
+                         const RoutingPolicy& policy_,
+                         const EngineOptions& options_,
+                         const OriginSpec& origin, const Configuration& config,
+                         const SeedTable& seeds, std::vector<Route> current,
+                         std::vector<AsId> current_from,
+                         const std::vector<bool>& active_round0) {
   const AsId origin_id = seeds.origin_id;
+  const std::size_t n = graph_.size();
 
   RoutingOutcome outcome;
 
-  // Double-buffered Jacobi iteration with activity tracking: an AS is
-  // recomputed only when one of its neighbors changed in the previous
-  // round (every AS is active in round 0).
-  std::vector<Route> current(graph_.size());
-  std::vector<AsId> current_from(graph_.size(), kInvalidAsId);
-  std::vector<bool> changed_prev(graph_.size(), true);
-  std::vector<std::uint32_t> settled(graph_.size(), 0);
+  // The origin never holds a route to its own prefix.
+  current[origin_id] = Route{};
+  current_from[origin_id] = kInvalidAsId;
 
-  bool any_change = true;
+  std::vector<std::uint32_t> settled(n, 0);
+
+  // Jacobi iteration over an explicit active frontier: an AS is recomputed
+  // only when one of its neighbors changed in the previous round, and each
+  // round touches only the frontier — never all of the topology. Round 0's
+  // frontier is `active_round0` (every AS on a cold start, only
+  // delta-affected ASes on a warm start).
+  //
+  // Instead of a second full buffer, each round stages its changed routes
+  // and applies them only after every active AS has computed — all reads of
+  // `current` happen before any write, so the schedule (and therefore every
+  // per-round result) is exactly synchronous Jacobi.
+  struct StagedWrite {
+    AsId x;
+    AsId from;
+    Route route;
+  };
+  std::vector<StagedWrite> staged;
+
+  std::vector<AsId> active_list;
+  active_list.reserve(n);
+  for (AsId x = 0; x < n; ++x) {
+    if (x != origin_id && active_round0[x]) active_list.push_back(x);
+  }
+  std::vector<bool> queued(n, false);
+
   std::uint32_t round = 0;
-  std::vector<Route> next(graph_.size());
-  std::vector<AsId> next_from(graph_.size(), kInvalidAsId);
-  std::vector<bool> changed_now(graph_.size(), false);
+  for (; round < options_.max_rounds && !active_list.empty(); ++round) {
+    staged.clear();
 
-  for (; round < options_.max_rounds && any_change; ++round) {
-    any_change = false;
-    std::fill(changed_now.begin(), changed_now.end(), false);
-
-    for (AsId x = 0; x < graph_.size(); ++x) {
-      if (x == origin_id) {
-        next[x] = Route{};
-        next_from[x] = kInvalidAsId;
-        continue;
-      }
-
-      bool active = round == 0 || !options_.activity_tracking;
-      if (!active) {
-        for (const topology::Neighbor& n : graph_.neighbors(x)) {
-          if (changed_prev[n.id]) {
-            active = true;
-            break;
-          }
-        }
-      }
-      if (!active) {
-        next[x] = current[x];
-        next_from[x] = current_from[x];
-        continue;
-      }
-
+    for (const AsId x : active_list) {
       const topology::Asn x_asn = graph_.asn_of(x);
       CandidateRef best_ref;
       bool have_best = false;
@@ -193,28 +235,115 @@ RoutingOutcome Engine::run(const OriginSpec& origin,
         winner_from = best_ref.sender;
       }
 
-      const bool differs =
-          winner_from != current_from[x] || !(winner == current[x]);
-      next[x] = std::move(winner);
-      next_from[x] = winner_from;
-      if (differs) {
-        changed_now[x] = true;
-        any_change = true;
-        settled[x] = round + 1;
+      if (winner_from != current_from[x] || !(winner == current[x])) {
+        staged.push_back({x, winner_from, std::move(winner)});
       }
     }
 
-    current.swap(next);
-    current_from.swap(next_from);
-    changed_prev.swap(changed_now);
+    // Apply phase: commit the changed routes, then derive the next frontier
+    // from their neighborhoods.
+    for (StagedWrite& w : staged) {
+      current[w.x] = std::move(w.route);
+      current_from[w.x] = w.from;
+      settled[w.x] = round + 1;
+    }
+    active_list.clear();
+    if (!options_.activity_tracking) {
+      if (!staged.empty()) {
+        for (AsId x = 0; x < n; ++x) {
+          if (x != origin_id) active_list.push_back(x);
+        }
+      }
+    } else {
+      for (const StagedWrite& w : staged) {
+        for (const topology::Neighbor& nb : graph_.neighbors(w.x)) {
+          if (nb.id == origin_id || queued[nb.id]) continue;
+          queued[nb.id] = true;
+          active_list.push_back(nb.id);
+        }
+      }
+      for (const AsId x : active_list) queued[x] = false;
+    }
   }
 
   outcome.rounds = round;
-  outcome.converged = !any_change;
+  outcome.converged = active_list.empty();
   outcome.best = std::move(current);
   outcome.next_hop = std::move(current_from);
   outcome.settled_round = std::move(settled);
   return outcome;
+}
+
+}  // namespace
+
+RoutingOutcome Engine::run(const OriginSpec& origin,
+                           const Configuration& config) const {
+  const SeedTable seeds = build_seeds(graph_, origin, config);
+  return propagate(graph_, policy_, options_, origin, config, seeds,
+                   std::vector<Route>(graph_.size()),
+                   std::vector<AsId>(graph_.size(), kInvalidAsId),
+                   std::vector<bool>(graph_.size(), true));
+}
+
+RoutingOutcome Engine::run_warm(const OriginSpec& origin,
+                                const Configuration& config,
+                                const Configuration& baseline_config,
+                                const RoutingOutcome& baseline) const {
+  return run_warm(origin, config, baseline_config, RoutingOutcome(baseline));
+}
+
+RoutingOutcome Engine::run_warm(const OriginSpec& origin,
+                                const Configuration& config,
+                                const Configuration& baseline_config,
+                                RoutingOutcome&& baseline) const {
+  const SeedTable seeds = build_seeds(graph_, origin, config);
+  const SeedTable base_seeds = build_seeds(graph_, origin, baseline_config);
+
+  if (baseline.best.size() != graph_.size() ||
+      baseline.next_hop.size() != graph_.size()) {
+    throw std::invalid_argument(
+        "warm-start baseline outcome does not match the topology");
+  }
+  if (!baseline.converged) {
+    throw std::invalid_argument(
+        "warm start requires a converged baseline outcome");
+  }
+
+  // Seed delta: an AS must be recomputed in round 0 when its own
+  // announcement inputs changed. Its neighbors additionally need round-0
+  // activation only when its export *filtering* changed (the no-export
+  // filter a neighbor applies to routes learned from p reads p's seed
+  // announcement) — a change to p's own route reaches them through the
+  // ordinary changed-neighbor tracking as the delta ripples outward.
+  std::vector<bool> active(graph_.size(), false);
+  bool any_delta = false;
+  for (AsId p = 0; p < graph_.size(); ++p) {
+    if (seed_entry_equal(p, seeds, config, base_seeds, baseline_config)) {
+      continue;
+    }
+    any_delta = true;
+    active[p] = true;
+    if (!export_filter_equal(p, seeds, config, base_seeds, baseline_config)) {
+      for (const topology::Neighbor& n : graph_.neighbors(p)) {
+        active[n.id] = true;
+      }
+    }
+  }
+
+  if (!any_delta) {
+    // Identical seed tables: the baseline fixed point is the answer.
+    RoutingOutcome outcome;
+    outcome.best = std::move(baseline.best);
+    outcome.next_hop = std::move(baseline.next_hop);
+    outcome.settled_round.assign(graph_.size(), 0);
+    outcome.rounds = 0;
+    outcome.converged = true;
+    return outcome;
+  }
+
+  return propagate(graph_, policy_, options_, origin, config, seeds,
+                   std::move(baseline.best), std::move(baseline.next_hop),
+                   active);
 }
 
 std::vector<Engine::CandidateInfo> Engine::candidates(
@@ -286,7 +415,10 @@ std::vector<AsId> forwarding_path(const RoutingOutcome& outcome,
     path.push_back(cursor);
     if (cursor == origin) return path;
     if (path.size() > limit) {
-      throw std::logic_error("forwarding loop detected");
+      // Forwarding loop: inconsistent state (an engine bug or a
+      // non-converged outcome); surface as an empty path like the
+      // invalid-hop case below.
+      return {};
     }
     const AsId hop = outcome.next_hop[cursor];
     if (hop == kInvalidAsId) {

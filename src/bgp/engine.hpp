@@ -43,7 +43,9 @@ struct RoutingOutcome {
   std::vector<topology::AsId> next_hop;
   /// Per AsId: the 1-based Jacobi round after which the AS never changed
   /// its route again (0 = never held a route / never changed). Feeds the
-  /// convergence-time model: deeper ripples settle later.
+  /// convergence-time model: deeper ripples settle later. On a warm-started
+  /// outcome the rounds are counted from the warm start (0 = carried over
+  /// unchanged from the baseline), not from an empty routing table.
   std::vector<std::uint32_t> settled_round;
   std::uint32_t rounds = 0;
   bool converged = false;
@@ -61,6 +63,38 @@ class Engine {
   /// whose link providers are not providers of the origin in the graph.
   RoutingOutcome run(const OriginSpec& origin,
                      const Configuration& config) const;
+
+  /// Warm-start incremental propagation: routes `config` starting from
+  /// `baseline`, the converged outcome of `baseline_config` under the same
+  /// origin, engine options and policy. Only ASes whose announcement
+  /// inputs changed (link providers that gained/lost/changed seeds, plus
+  /// their neighbors, which apply the no-export filter to routes learned
+  /// from them) are active in round 0; everything else is re-activated on
+  /// demand by the ordinary changed-neighbor tracking.
+  ///
+  /// Equivalence guarantee: `best` and `next_hop` (including announcement
+  /// ids inside each Route) are bit-identical to a cold `run(origin,
+  /// config)`. The instance is dispute-wheel-free (see the file comment),
+  /// so the fixed point is unique and the iteration reaches it from any
+  /// starting state. `rounds` and `settled_round` are relative to the warm
+  /// run (typically much smaller than the cold values) and therefore NOT
+  /// comparable across cold and warm outcomes.
+  ///
+  /// Throws std::invalid_argument when either configuration is malformed,
+  /// when the baseline outcome does not match this graph's size, or when
+  /// the baseline did not converge. Thread-safe like `run`.
+  RoutingOutcome run_warm(const OriginSpec& origin,
+                          const Configuration& config,
+                          const Configuration& baseline_config,
+                          const RoutingOutcome& baseline) const;
+
+  /// Overload consuming the baseline: moves its routing state into the warm
+  /// run instead of deep-copying every route — the fast path for chained
+  /// warm starts that discard each baseline after stepping from it.
+  RoutingOutcome run_warm(const OriginSpec& origin,
+                          const Configuration& config,
+                          const Configuration& baseline_config,
+                          RoutingOutcome&& baseline) const;
 
   /// A route available to an AS (used by the policy-compliance audit of
   /// Figure 9): what a neighbor exported and the AS accepted.
@@ -91,8 +125,9 @@ class Engine {
 
 /// Walks data-plane next hops from `source` to `origin`. Returns the AsId
 /// sequence including both endpoints, or an empty vector when the source
-/// has no route. Throws std::logic_error on a forwarding loop (which would
-/// indicate an engine bug or a non-converged outcome).
+/// has no route or the forwarding state is inconsistent — an invalid
+/// next hop mid-walk or a forwarding loop (either would indicate an engine
+/// bug or a non-converged outcome). Never throws on malformed outcomes.
 std::vector<topology::AsId> forwarding_path(const RoutingOutcome& outcome,
                                             topology::AsId source,
                                             topology::AsId origin);

@@ -1,7 +1,14 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
+#include "core/config_gen.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace spooftrack::core {
@@ -23,6 +30,159 @@ std::uint32_t CampaignModel::prefixes_for_deadline(
   const double prefixes =
       std::ceil(static_cast<double>(configs) / batches);
   return static_cast<std::uint32_t>(prefixes);
+}
+
+namespace {
+
+/// Prefix-free binary key over a configuration's announcement list — the
+/// exact inputs that determine its seed table (and hence its routing
+/// outcome). Labels are deliberately excluded.
+std::string announcement_key(const bgp::Configuration& config) {
+  std::string key;
+  const auto push = [&key](std::uint32_t v) {
+    char bytes[sizeof v];
+    std::memcpy(bytes, &v, sizeof v);
+    key.append(bytes, sizeof v);
+  };
+  push(static_cast<std::uint32_t>(config.announcements.size()));
+  for (const bgp::AnnouncementSpec& spec : config.announcements) {
+    push(spec.link);
+    push(spec.prepend);
+    push(static_cast<std::uint32_t>(spec.poisoned.size()));
+    for (topology::Asn asn : spec.poisoned) push(asn);
+    push(static_cast<std::uint32_t>(spec.no_export_to.size()));
+    for (topology::Asn asn : spec.no_export_to) push(asn);
+  }
+  return key;
+}
+
+}  // namespace
+
+CampaignRunStats propagate_campaign(const bgp::Engine& engine,
+                                    const bgp::OriginSpec& origin,
+                                    const std::vector<bgp::Configuration>& configs,
+                                    const CampaignOutcomeSink& sink,
+                                    const CampaignRunnerOptions& options) {
+  CampaignRunStats stats;
+  stats.configs = configs.size();
+  if (configs.empty()) return stats;
+
+  // 1. Memoization: one propagation per distinct announcement list, fanned
+  //    out to every configuration index that shares it.
+  std::vector<std::size_t> unique;                 // representative indices
+  std::vector<std::vector<std::size_t>> fanout;    // per unique: all indices
+  if (options.memoize) {
+    std::unordered_map<std::string, std::size_t> by_key;
+    by_key.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto [it, inserted] =
+          by_key.emplace(announcement_key(configs[i]), unique.size());
+      if (inserted) {
+        unique.push_back(i);
+        fanout.emplace_back();
+      }
+      fanout[it->second].push_back(i);
+    }
+  } else {
+    unique.resize(configs.size());
+    fanout.resize(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      unique[i] = i;
+      fanout[i] = {i};
+    }
+  }
+  stats.unique_configs = unique.size();
+  stats.memo_hits = configs.size() - unique.size();
+
+  // 2. Similarity ordering over the unique configurations so consecutive
+  //    chain steps differ in as few seeds as possible.
+  std::vector<std::size_t> order(unique.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options.order_chains && unique.size() > 2 &&
+      unique.size() <= options.max_ordering_configs) {
+    std::vector<bgp::Configuration> view;
+    view.reserve(unique.size());
+    for (std::size_t u : unique) view.push_back(configs[u]);
+    order = order_by_similarity(view);
+    stats.ordered = true;
+  }
+
+  std::size_t workers =
+      options.workers == 0 ? util::default_worker_count() : options.workers;
+  workers = std::max<std::size_t>(workers, 1);
+
+  if (!options.warm_start) {
+    // Cold baseline: dynamic scheduling over unique configurations (the
+    // pre-warm-start behaviour, plus memoization).
+    std::vector<std::uint32_t> rounds(unique.size(), 0);
+    util::parallel_for(
+        unique.size(),
+        [&](std::size_t u) {
+          const bgp::RoutingOutcome outcome =
+              engine.run(origin, configs[unique[u]]);
+          rounds[u] = outcome.rounds;
+          for (std::size_t idx : fanout[u]) sink(idx, outcome);
+        },
+        workers);
+    stats.cold_runs = unique.size();
+    for (std::uint32_t r : rounds) stats.total_rounds += r;
+    return stats;
+  }
+
+  // 3. Warm-start chains: contiguous runs of the ordered plan, one per
+  //    worker; only chain heads pay a cold propagation.
+  const std::size_t chains = std::min(workers, unique.size());
+  std::vector<CampaignRunStats> chain_stats(chains);
+  util::parallel_for(
+      chains,
+      [&](std::size_t c) {
+        CampaignRunStats& cs = chain_stats[c];
+        const std::size_t begin = c * unique.size() / chains;
+        const std::size_t end = (c + 1) * unique.size() / chains;
+        bgp::RoutingOutcome prev;
+        const bgp::Configuration* prev_config = nullptr;
+        for (std::size_t pos = begin; pos < end; ++pos) {
+          const std::size_t u = order[pos];
+          const bgp::Configuration& config = configs[unique[u]];
+          bgp::RoutingOutcome outcome;
+          if (prev_config != nullptr && prev.converged) {
+            // The baseline is discarded after this step: let run_warm
+            // consume it instead of deep-copying every route.
+            outcome =
+                engine.run_warm(origin, config, *prev_config, std::move(prev));
+            ++cs.warm_runs;
+          } else {
+            outcome = engine.run(origin, config);
+            ++cs.cold_runs;
+          }
+          cs.total_rounds += outcome.rounds;
+          for (std::size_t idx : fanout[u]) sink(idx, outcome);
+          prev = std::move(outcome);
+          prev_config = &config;
+        }
+      },
+      chains);
+  for (const CampaignRunStats& cs : chain_stats) {
+    stats.cold_runs += cs.cold_runs;
+    stats.warm_runs += cs.warm_runs;
+    stats.total_rounds += cs.total_rounds;
+  }
+  return stats;
+}
+
+std::vector<bgp::RoutingOutcome> propagate_campaign_collect(
+    const bgp::Engine& engine, const bgp::OriginSpec& origin,
+    const std::vector<bgp::Configuration>& configs,
+    const CampaignRunnerOptions& options, CampaignRunStats* stats) {
+  std::vector<bgp::RoutingOutcome> outcomes(configs.size());
+  const CampaignRunStats run_stats = propagate_campaign(
+      engine, origin, configs,
+      [&outcomes](std::size_t i, const bgp::RoutingOutcome& outcome) {
+        outcomes[i] = outcome;
+      },
+      options);
+  if (stats != nullptr) *stats = run_stats;
+  return outcomes;
 }
 
 std::string CampaignModel::describe(std::size_t configs) const {

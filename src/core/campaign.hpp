@@ -9,7 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
+
+#include "bgp/engine.hpp"
 
 namespace spooftrack::core {
 
@@ -45,5 +49,81 @@ struct CampaignModel {
 
   std::string describe(std::size_t configs) const;
 };
+
+// ---------------------------------------------------------------------------
+// Campaign propagation runner
+//
+// Configurations within a campaign differ only in their seed routes (link
+// subsets, prepends, poisons, no-export targets), so re-propagating every AS
+// from scratch per configuration wastes almost all of the work. The runner
+// amortizes it three ways:
+//
+//   1. memoization — configurations with identical announcement lists have
+//      identical seed tables, hence identical routing outcomes: propagate
+//      once, fan the outcome out;
+//   2. similarity ordering — greedy nearest-neighbor over announcement
+//      specs (config_gen's seed_distance) so consecutive configurations
+//      differ in as few seeds as possible;
+//   3. warm-start chains — each worker propagates a contiguous run of the
+//      ordered plan with Engine::run_warm, re-routing only the delta ripple
+//      of each step; only chain heads pay a cold propagation.
+//
+// Outcomes are bit-identical to per-config cold propagation (best routes,
+// next hops, announcement ids — Engine::run_warm's equivalence guarantee),
+// so the runner is a drop-in replacement on any campaign hot path.
+// ---------------------------------------------------------------------------
+
+struct CampaignRunnerOptions {
+  /// Worker threads (0 = util::default_worker_count()).
+  std::size_t workers = 0;
+  /// Warm-start each configuration from its chain predecessor; false
+  /// cold-propagates every configuration (ablation / comparison baseline).
+  bool warm_start = true;
+  /// Propagate each distinct announcement list once and share the outcome.
+  bool memoize = true;
+  /// Reorder (unique) configurations by seed similarity before chaining.
+  bool order_chains = true;
+  /// Similarity ordering is O(n^2); plans larger than this keep their input
+  /// order (the cap is reported through CampaignRunStats::ordered).
+  std::size_t max_ordering_configs = 4096;
+};
+
+struct CampaignRunStats {
+  std::size_t configs = 0;         // configurations submitted
+  std::size_t unique_configs = 0;  // distinct announcement lists propagated
+  std::size_t memo_hits = 0;       // configs served from a shared outcome
+  std::size_t cold_runs = 0;       // chain heads (full propagation)
+  std::size_t warm_runs = 0;       // warm-started propagations
+  bool ordered = false;            // similarity ordering was applied
+  /// Sum of Jacobi rounds across all propagations (cold + warm); the
+  /// headline measure of how much iteration work warm-starting saved.
+  std::uint64_t total_rounds = 0;
+};
+
+/// Called once per submitted configuration index with its routing outcome.
+/// Invoked concurrently from worker threads, each index exactly once;
+/// memoized configurations receive a reference to the shared outcome. The
+/// sink must not retain the reference beyond the call unless it copies.
+using CampaignOutcomeSink =
+    std::function<void(std::size_t config_index,
+                       const bgp::RoutingOutcome& outcome)>;
+
+/// Propagates every configuration of a campaign through the engine using
+/// memoization + similarity-ordered warm-start chains (see above) and
+/// streams the outcomes to `sink`. Outcomes are delivered in chain order,
+/// not input order; use the index argument to place results. Throws
+/// whatever the engine throws (first error wins, propagation stops).
+CampaignRunStats propagate_campaign(const bgp::Engine& engine,
+                                    const bgp::OriginSpec& origin,
+                                    const std::vector<bgp::Configuration>& configs,
+                                    const CampaignOutcomeSink& sink,
+                                    const CampaignRunnerOptions& options = {});
+
+/// Convenience wrapper collecting the outcomes in input order.
+std::vector<bgp::RoutingOutcome> propagate_campaign_collect(
+    const bgp::Engine& engine, const bgp::OriginSpec& origin,
+    const std::vector<bgp::Configuration>& configs,
+    const CampaignRunnerOptions& options = {},
+    CampaignRunStats* stats = nullptr);
 
 }  // namespace spooftrack::core

@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace spooftrack::core {
 
@@ -216,6 +217,74 @@ std::size_t ConfigGenerator::location_and_prepend_size(
     total += binomial(links, links - x) * (1 + (links - x));
   }
   return total;
+}
+
+std::uint32_t seed_distance(const bgp::Configuration& a,
+                            const bgp::Configuration& b) {
+  // Per link: (announcement id, spec) in each configuration, or "absent".
+  // Links are small ids in practice (one per PEERING mux), so a flat map
+  // over the maximum link id would also work; a sorted scan keeps this
+  // robust to sparse ids.
+  std::uint32_t distance = 0;
+  auto spec_index = [](const bgp::Configuration& c) {
+    std::vector<std::pair<bgp::LinkId, std::uint32_t>> by_link;
+    by_link.reserve(c.announcements.size());
+    for (std::uint32_t ann = 0; ann < c.announcements.size(); ++ann) {
+      by_link.emplace_back(c.announcements[ann].link, ann);
+    }
+    std::sort(by_link.begin(), by_link.end());
+    return by_link;
+  };
+  const auto la = spec_index(a);
+  const auto lb = spec_index(b);
+  std::size_t i = 0, j = 0;
+  while (i < la.size() || j < lb.size()) {
+    if (j == lb.size() || (i < la.size() && la[i].first < lb[j].first)) {
+      ++distance;  // announced only in a
+      ++i;
+    } else if (i == la.size() || lb[j].first < la[i].first) {
+      ++distance;  // announced only in b
+      ++j;
+    } else {
+      if (la[i].second != lb[j].second ||
+          !(a.announcements[la[i].second] == b.announcements[lb[j].second])) {
+        ++distance;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return distance;
+}
+
+std::vector<std::size_t> order_by_similarity(
+    const std::vector<bgp::Configuration>& configs, std::size_t start) {
+  const std::size_t n = configs.size();
+  std::vector<std::size_t> order;
+  if (n == 0) return order;
+  if (start >= n) throw std::invalid_argument("similarity start out of range");
+
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::size_t current = start;
+  visited[current] = true;
+  order.push_back(current);
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t best = n;
+    std::uint32_t best_distance = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (visited[i]) continue;
+      const std::uint32_t d = seed_distance(configs[current], configs[i]);
+      if (best == n || d < best_distance) {
+        best = i;
+        best_distance = d;
+      }
+    }
+    visited[best] = true;
+    order.push_back(best);
+    current = best;
+  }
+  return order;
 }
 
 }  // namespace spooftrack::core

@@ -91,4 +91,24 @@ class ConfigGenerator {
 std::vector<std::vector<std::uint32_t>> combinations(std::uint32_t n,
                                                      std::uint32_t k);
 
+/// Seed-edit distance between two configurations: the number of peering
+/// links whose announcement differs — absent vs announced, a different
+/// announcement id (index within the configuration), or a different spec
+/// (prepend count, poison set, no-export set). This counts exactly the
+/// link providers whose seed entry the routing engine would see change,
+/// i.e. the round-0 active set of a warm-started propagation between the
+/// two configurations (before neighbor expansion).
+std::uint32_t seed_distance(const bgp::Configuration& a,
+                            const bgp::Configuration& b);
+
+/// Greedy nearest-neighbor order over `configs` by seed_distance, starting
+/// from index `start`: repeatedly appends the unvisited configuration
+/// closest to the last appended one (ties resolved toward the lower
+/// index, so the order is deterministic). Returns a permutation of
+/// [0, configs.size()). Campaign runners use this to chain warm-started
+/// propagations over minimal seed deltas; O(n^2) in the number of
+/// configurations.
+std::vector<std::size_t> order_by_similarity(
+    const std::vector<bgp::Configuration>& configs, std::size_t start = 0);
+
 }  // namespace spooftrack::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/campaign.hpp"
 #include "topology/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -157,9 +158,15 @@ DeploymentResult PeeringTestbed::deploy(
   // Per-config distance rows, min-reduced after the parallel section.
   std::vector<std::vector<std::uint32_t>> distance_rows(n);
 
-  util::parallel_for(n, [&](std::size_t i) {
+  // Propagation runs through the campaign runner: memoized, ordered by
+  // seed similarity, warm-started along per-worker chains (cold per-config
+  // when warm_campaign is off). Outcomes are bit-identical either way; the
+  // sink runs the per-configuration measurement pipeline on disjoint slots.
+  CampaignRunnerOptions runner;
+  runner.warm_start = config_.warm_campaign;
+  propagate_campaign(engine_, origin_, result.configs,
+                     [&](std::size_t i, const bgp::RoutingOutcome& outcome) {
     const bgp::Configuration& config = result.configs[i];
-    bgp::RoutingOutcome outcome = engine_.run(origin_, config);
     if (!outcome.converged) {
       throw std::runtime_error("routing did not converge for '" +
                                config.label + "'");
@@ -196,7 +203,7 @@ DeploymentResult PeeringTestbed::deploy(
       const auto paths = repair_.repair(traces, feed_entries);
       result.measured[i] = inference_.infer(feed_entries, paths);
     }
-  });
+  }, runner);
 
   // Distance: minimum across configurations.
   result.min_route_distance.assign(as_count, topology::kUnreachable);

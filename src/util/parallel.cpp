@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -9,10 +10,27 @@
 
 namespace spooftrack::util {
 
+namespace {
+
+/// Upper bound on worker counts accepted from the environment; anything
+/// larger is treated as a configuration error (and would only oversubscribe
+/// the scheduler anyway).
+constexpr long kMaxEnvWorkers = 1 << 16;
+
+}  // namespace
+
 std::size_t default_worker_count() noexcept {
   if (const char* env = std::getenv("SPOOFTRACK_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    // Accept only a clean positive integer: the whole string must parse and
+    // the value must be in range. "8abc", "", "-3", "0" and overflowing
+    // values all fall back to hardware concurrency.
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && errno != ERANGE && parsed >= 1 &&
+        parsed <= kMaxEnvWorkers) {
+      return static_cast<std::size_t>(parsed);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
@@ -29,11 +47,15 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   }
 
   std::atomic<std::size_t> next{0};
+  // Separate stop flag: a thrower must not signal termination through the
+  // work index itself, where concurrent fetch_adds race with the sentinel
+  // store; the monotonic flag cannot be un-set by a peer claiming work.
+  std::atomic<bool> stop{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto body = [&]() {
-    while (true) {
+    while (!stop.load(std::memory_order_acquire)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
@@ -41,8 +63,7 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
-        // Drain remaining work: leave the index past the end so peers stop.
-        next.store(count, std::memory_order_relaxed);
+        stop.store(true, std::memory_order_release);
         return;
       }
     }

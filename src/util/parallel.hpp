@@ -10,12 +10,15 @@
 namespace spooftrack::util {
 
 /// Number of workers parallel_for will use (>= 1); honours the environment
-/// variable SPOOFTRACK_THREADS when set, else hardware_concurrency.
+/// variable SPOOFTRACK_THREADS when it holds a clean positive integer
+/// (no trailing garbage, in range), else falls back to
+/// hardware_concurrency.
 std::size_t default_worker_count() noexcept;
 
 /// Runs fn(i) for i in [0, count) across `workers` threads (0 = default).
 /// Blocks until all iterations complete. Exceptions in tasks are rethrown
-/// (first one wins) after all workers have stopped.
+/// (first one wins) after all workers have stopped; once a task throws, no
+/// worker claims new work (tasks already started still run to completion).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t workers = 0);
 

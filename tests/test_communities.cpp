@@ -10,7 +10,9 @@
 namespace spooftrack {
 namespace {
 
+using test::kA;
 using test::kB;
+using test::kD;
 using test::kE;
 using test::kOrigin;
 using test::kP1;
@@ -99,6 +101,45 @@ TEST_F(CommunityTest, OnlySeedDescendedRoutesAreWithheld) {
   const auto outcome = engine_.run(origin_, config);
   const auto map = bgp::extract_catchments(outcome, config);
   EXPECT_EQ(map.routed_count(), graph_.size() - 1);
+}
+
+TEST_F(CommunityTest, SeedBestRouteIsWithheldFromBlockedReceivers) {
+  // p1's best route IS its own seed (customer route from the origin): the
+  // no-export filter applies. a is single-homed under p1 and ends up with
+  // no route at all; the multihomed d falls back to link 1 via p2.
+  bgp::Configuration config;
+  config.announcements.push_back({0, 0, {}, {kA, kD}});
+  config.announcements.push_back({1, 0, {}, {}});
+  const auto outcome = engine_.run(origin_, config);
+
+  EXPECT_EQ(outcome.best[id(kP1)].as_path,
+            (std::vector<topology::Asn>{kOrigin}));  // p1 keeps its seed
+  EXPECT_FALSE(outcome.best[id(kA)].valid());
+  EXPECT_EQ(catchment_of(outcome, config, kA), bgp::kNoCatchment);
+  ASSERT_TRUE(outcome.best[id(kD)].valid());
+  EXPECT_EQ(catchment_of(outcome, config, kD), 1u);
+}
+
+TEST_F(CommunityTest, FilterDoesNotApplyWhenBestRouteIsAnotherAnnouncement) {
+  // Poisoning p1 on its own link makes p1 reject its seed (its ASN is in
+  // the path), so p1's best route carries link 1's announcement instead.
+  // Its seed's no-export list must NOT withhold that different-announcement
+  // route from a.
+  bgp::Configuration config;
+  config.announcements.push_back({0, 0, {kP1}, {kA}});
+  config.announcements.push_back({1, 0, {}, {}});
+  const auto outcome = engine_.run(origin_, config);
+
+  // p1 is seeded on link 0 but holds link 1's announcement via its
+  // provider t1.
+  ASSERT_TRUE(outcome.best[id(kP1)].valid());
+  EXPECT_EQ(outcome.best[id(kP1)].ann, 1u);
+  EXPECT_EQ(outcome.best[id(kP1)].learned_from, topology::Rel::kProvider);
+
+  // a (on the announcement-0 blocked list) still hears p1's route.
+  ASSERT_TRUE(outcome.best[id(kA)].valid());
+  EXPECT_EQ(outcome.best[id(kA)].ann, 1u);
+  EXPECT_EQ(catchment_of(outcome, config, kA), 1u);
 }
 
 TEST_F(CommunityTest, ValidationCapsAndSelfTargets) {

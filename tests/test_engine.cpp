@@ -230,6 +230,25 @@ TEST_F(EngineTest, ForwardingPathMatchesAsPath) {
   EXPECT_EQ(graph_.asn_of(path[3]), kOrigin);
 }
 
+TEST_F(EngineTest, ForwardingLoopYieldsEmptyPath) {
+  // Regression: a corrupted (or non-converged) outcome whose next hops
+  // cycle must surface as an empty path — the documented behaviour for
+  // inconsistent forwarding state — not an exception.
+  const auto config = test::announce_all(2);
+  auto outcome = engine_.run(origin_, config);
+  outcome.next_hop[id(kA)] = id(kP1);
+  outcome.next_hop[id(kP1)] = id(kA);
+  EXPECT_TRUE(bgp::forwarding_path(outcome, id(kA), id(kOrigin)).empty());
+}
+
+TEST_F(EngineTest, InvalidHopMidWalkYieldsEmptyPath) {
+  const auto config = test::announce_all(2);
+  auto outcome = engine_.run(origin_, config);
+  // c routes via t1; cutting t1's next hop strands the walk mid-way.
+  outcome.next_hop[id(kT1)] = topology::kInvalidAsId;
+  EXPECT_TRUE(bgp::forwarding_path(outcome, id(kC), id(kOrigin)).empty());
+}
+
 TEST_F(EngineTest, RejectsUnknownProvider) {
   bgp::OriginSpec bad = origin_;
   bad.links.push_back({2, "bogus", 999999});

@@ -3,12 +3,41 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace spooftrack::util {
 namespace {
+
+/// Saves and restores SPOOFTRACK_THREADS around a test.
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    if (const char* value = std::getenv(kName)) {
+      saved_ = value;
+      had_value_ = true;
+    }
+  }
+  ~ThreadsEnvGuard() {
+    if (had_value_) {
+      ::setenv(kName, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(kName);
+    }
+  }
+  static void set(const char* value) { ::setenv(kName, value, 1); }
+  static void clear() { ::unsetenv(kName); }
+
+ private:
+  static constexpr const char* kName = "SPOOFTRACK_THREADS";
+  std::string saved_;
+  bool had_value_ = false;
+};
 
 TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
@@ -47,6 +76,56 @@ TEST(ParallelFor, ResultsMatchSequential) {
 
 TEST(ParallelFor, DefaultWorkerCountPositive) {
   EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST(ParallelFor, ThreadsEnvHonoursCleanPositiveInteger) {
+  ThreadsEnvGuard guard;
+  ThreadsEnvGuard::set("8");
+  EXPECT_EQ(default_worker_count(), 8u);
+  ThreadsEnvGuard::set("1");
+  EXPECT_EQ(default_worker_count(), 1u);
+}
+
+TEST(ParallelFor, ThreadsEnvRejectsGarbageAndOutOfRange) {
+  ThreadsEnvGuard guard;
+  ThreadsEnvGuard::clear();
+  const std::size_t fallback = default_worker_count();
+  for (const char* bad :
+       {"8abc", "abc", "", " ", "-3", "0", "4.5", "0x10",
+        "999999999999999999999999999", "9999999999", "1000000"}) {
+    ThreadsEnvGuard::set(bad);
+    EXPECT_EQ(default_worker_count(), fallback) << "value: '" << bad << "'";
+  }
+}
+
+TEST(ParallelFor, StopsClaimingNewWorkAfterException) {
+  // Regression: termination is signalled through a dedicated stop flag, not
+  // by storing a sentinel into the work index where concurrent fetch_adds
+  // race with it. After one task throws, peers may finish tasks already
+  // claimed but must not keep draining the remaining iterations.
+  const std::size_t count = 100000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallel_for(
+          count,
+          [&](std::size_t i) {
+            if (i == 0) throw std::runtime_error("boom");
+            executed.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          },
+          8),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), count / 10);
+}
+
+TEST(ParallelFor, ConcurrentThrowersReportFirstErrorAndTerminate) {
+  // Every task throws from every worker at once: exactly one exception
+  // must surface and the call must terminate (no deadlock, no crash).
+  EXPECT_THROW(
+      parallel_for(
+          64, [](std::size_t i) { throw std::domain_error(std::to_string(i)); },
+          8),
+      std::domain_error);
 }
 
 }  // namespace
