@@ -116,5 +116,5 @@ int main(int argc, char** argv) {
          "Severing one\nedge reroutes the ASes behind it more diversely, "
          "which is why the community\nphase tends to refine clusters "
          "harder per configuration.\n";
-  return 0;
+  return bench::finish(options, "ablation_communities");
 }

@@ -85,5 +85,5 @@ int main(int argc, char** argv) {
                     ? "schedule holds"
                     : "schedule WOULD BE violated")
             << "\n";
-  return 0;
+  return bench::finish(options, "ablation_convergence");
 }

@@ -107,5 +107,5 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: predicted catchments recover most of the oracle's "
                "advantage without\npre-deploying anything beyond the "
                "location phase.\n";
-  return 0;
+  return bench::finish(options, "ablation_prediction");
 }

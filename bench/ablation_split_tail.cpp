@@ -131,5 +131,5 @@ int main(int argc, char** argv) {
             << " moves "
             << (proposals.empty() ? 0 : proposals.front().members_moved)
             << " members\n";
-  return 0;
+  return bench::finish(options, "ablation_split_tail");
 }

@@ -137,5 +137,5 @@ int main(int argc, char** argv) {
             << " legitimate packets now arrive on 'wrong' links) — the "
                "paper's §V-C trade-off\nbetween reusing stale catchments "
                "and spending time re-measuring.\n";
-  return 0;
+  return bench::finish(options, "ablation_valid_source");
 }

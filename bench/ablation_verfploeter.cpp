@@ -86,5 +86,5 @@ int main(int argc, char** argv) {
                "paper could not host a prober on PEERING, which is\nwhy it "
                "built the passive pipeline; a production deployment should "
                "prefer active\nmeasurement when the prefix allows it).\n";
-  return 0;
+  return bench::finish(options, "ablation_verfploeter");
 }

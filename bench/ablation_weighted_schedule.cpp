@@ -118,5 +118,5 @@ int main(int argc, char** argv) {
                "structurally captive clusters no announcement can split "
                "(the Figure 3 tail),\nso the weighted advantage is in the "
                "objective, not full isolation.\n";
-  return 0;
+  return bench::finish(options, "ablation_weighted_schedule");
 }

@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace spooftrack;
-  (void)bench::BenchOptions::parse(argc, argv);
+  const auto options = bench::BenchOptions::parse(argc, argv);
 
   const core::CampaignModel model;
   const std::size_t phase_counts[] = {
@@ -57,5 +57,5 @@ int main(int argc, char** argv) {
             << " — the paper notes deploying hundreds of configurations "
                "takes weeks,\nmotivating the pre-measured greedy schedules "
                "of Figure 8 and catchment prediction.\n";
-  return 0;
+  return bench::finish(options, "campaign_time");
 }

@@ -7,18 +7,23 @@
 
 #include "core/config_gen.hpp"
 #include "core/io.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace spooftrack::bench {
 
 namespace {
 
+// Started at static initialization: finish() reports wall time for the
+// whole process, which is what you want to compare across bench runs.
+const obs::Stopwatch process_watch;
+
 [[noreturn]] void usage_and_exit(const char* flag) {
   std::cerr << "unknown or malformed flag: " << flag << "\n"
             << "flags: --seed=N --tier1=N --transit=N --stubs=N --probes=N\n"
             << "       --rounds=N --sequences=N --placements=N\n"
             << "       --greedy-steps=N --ground-truth --cache-dir=PATH\n"
-            << "       --no-cache\n";
+            << "       --no-cache --obs-report=PATH\n";
   std::exit(2);
 }
 
@@ -59,9 +64,24 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     else if (key == "--ground-truth") options.measured = false;
     else if (key == "--cache-dir") options.cache_dir = value;
     else if (key == "--no-cache") options.no_cache = true;
+    else if (key == "--obs-report") options.obs_report = value;
     else usage_and_exit(argv[i]);
   }
   return options;
+}
+
+int finish(const BenchOptions& options, std::string_view bench_name) {
+  if (options.obs_report.empty()) return 0;
+  obs::RunReport report = obs::RunReport::capture(bench_name);
+  report.value("wall_ms", process_watch.elapsed_ms());
+  try {
+    report.save_json_file(options.obs_report);
+    std::cerr << "[bench] wrote obs report to " << options.obs_report << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "[bench] obs report failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 core::TestbedConfig BenchOptions::testbed_config() const {
@@ -135,7 +155,10 @@ StandardDeployment run_standard(const BenchOptions& options) {
 
   if (!options.no_cache) {
     try {
+      const obs::Stopwatch load_watch;
       auto artifact = core::load_artifact_file(cache_path);
+      OBS_COUNT("bench.cache_hits", 1);
+      OBS_HIST("bench.cache_load_ns", "ns", load_watch.elapsed_ns());
       std::cerr << "[bench] loaded standard deployment from " << cache_path
                 << "\n";
       return from_artifact(artifact);
@@ -143,6 +166,7 @@ StandardDeployment run_standard(const BenchOptions& options) {
       // Cache miss or corruption: fall through and (re)compute.
     }
   }
+  OBS_COUNT("bench.cache_misses", 1);
 
   std::cerr << "[bench] running standard deployment (seed=" << options.seed
             << ", " << options.stubs << " stubs, "

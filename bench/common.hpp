@@ -10,12 +10,14 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "core/policy_audit.hpp"
 #include "measure/visibility.hpp"
+#include "obs/report.hpp"
 
 namespace spooftrack::bench {
 
@@ -32,12 +34,19 @@ struct BenchOptions {
   std::uint32_t greedy_steps = 100; // Figure 8 greedy horizon
   std::string cache_dir = "bench_cache";
   bool no_cache = false;
+  std::string obs_report;  // --obs-report=PATH: write a JSON RunReport here
 
   /// Parses --key=value flags; exits with usage on unknown flags.
   static BenchOptions parse(int argc, char** argv);
 
   core::TestbedConfig testbed_config() const;
 };
+
+/// Standard bench epilogue: when --obs-report was given, captures the
+/// merged obs registry plus process wall time into a RunReport named
+/// `bench_name` and writes it as JSON. Returns the process exit code, so
+/// benches end with `return bench::finish(options, "fig3_location");`
+int finish(const BenchOptions& options, std::string_view bench_name);
 
 enum class Phase : std::uint8_t { kLocation = 0, kPrepend = 1, kPoison = 2 };
 

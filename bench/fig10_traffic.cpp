@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
             << " single=" << util::fmt_percent(curve[2][1])
             << "\n(paper: most spoofed traffic originates in small "
                "clusters for all three distributions)\n";
-  return 0;
+  return bench::finish(options, "fig10_traffic");
 }

@@ -87,5 +87,5 @@ int main(int argc, char** argv) {
   head.print(std::cout);
   std::cout << "\npaper (real Internet): 92% singletons after 705 configs; "
                "14 clusters >5 ASes holding 7.9% of ASes\n";
-  return 0;
+  return bench::finish(options, "fig3_cluster_ccdf");
 }

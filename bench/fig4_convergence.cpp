@@ -51,5 +51,5 @@ int main(int argc, char** argv) {
             << " after locations -> " << util::fmt_double(at_prep, 2)
             << " after prepending -> " << util::fmt_double(at_end, 2)
             << " after poisoning (paper: monotone decrease to 1.40)\n";
-  return 0;
+  return bench::finish(options, "fig4_convergence");
 }

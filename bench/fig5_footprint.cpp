@@ -107,5 +107,5 @@ int main(int argc, char** argv) {
             << " six=" << util::fmt_double(stats_at(six, six[0].size() - 1).mean(), 2)
             << " five=" << util::fmt_double(stats_at(five, five[0].size() - 1).mean(), 2)
             << " (paper: larger footprint -> smaller clusters)\n";
-  return 0;
+  return bench::finish(options, "fig5_footprint");
 }

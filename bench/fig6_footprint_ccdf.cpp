@@ -122,5 +122,5 @@ int main(int argc, char** argv) {
   tail.add_row({"five locations", util::fmt_percent(util::mean(five_tail)),
                 "4.29%"});
   tail.print(std::cout);
-  return 0;
+  return bench::finish(options, "fig6_footprint_ccdf");
 }

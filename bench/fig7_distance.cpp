@@ -82,5 +82,5 @@ int main(int argc, char** argv) {
   means.add_row({"3+ hops (paper: 2.64)", std::to_string(far.count()),
                  util::fmt_double(far.mean(), 2)});
   means.print(std::cout);
-  return 0;
+  return bench::finish(options, "fig7_distance");
 }

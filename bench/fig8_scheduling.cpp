@@ -46,5 +46,5 @@ int main(int argc, char** argv) {
               << util::fmt_double(greedy.mean_cluster_size[9], 2)
               << " (paper: 7.8 vs 3.5 — greedy roughly halves the mean)\n";
   }
-  return 0;
+  return bench::finish(options, "fig8_scheduling");
 }

@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
   summary.print(std::cout);
   std::cout << "\npaper: most ASes follow best-relationship; adding the "
                "shortest-path criterion lowers compliance visibly\n";
-  return 0;
+  return bench::finish(options, "fig9_policy");
 }

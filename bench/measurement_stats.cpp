@@ -56,5 +56,5 @@ int main(int argc, char** argv) {
                 std::to_string(dep.configs.size() - dep.prepend_end), "347"});
   plan.add_row({"total", std::to_string(dep.configs.size()), "705"});
   plan.print(std::cout);
-  return 0;
+  return bench::finish(options, "measurement_stats");
 }

@@ -5,8 +5,8 @@
 // while timing and reports machine-readable JSON.
 //
 // Usage: perf_campaign_warm [--stubs=N] [--transit=N] [--seed=N]
+//                           [--obs-report=PATH]
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -16,6 +16,8 @@
 #include "core/campaign.hpp"
 #include "core/config_gen.hpp"
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -28,12 +30,12 @@ double run_timed(const core::PeeringTestbed& testbed,
                  const core::CampaignRunnerOptions& options,
                  core::CampaignRunStats* stats,
                  std::vector<bgp::RoutingOutcome>* outcomes) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   auto result = core::propagate_campaign_collect(
       testbed.engine(), testbed.origin(), plan, options, stats);
-  const auto t1 = std::chrono::steady_clock::now();
+  const double elapsed_ms = watch.elapsed_ms();
   if (outcomes != nullptr) *outcomes = std::move(result);
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return elapsed_ms;
 }
 
 }  // namespace
@@ -62,6 +64,10 @@ int main(int argc, char** argv) {
   // timed pass per mode; best of two timed passes guards against scheduler
   // noise.
   run_timed(testbed, plan, cold_options, nullptr, nullptr);
+  // Drop the warm-up pass from the telemetry so the RunReport describes
+  // only the timed passes (all campaign workers have joined; the registry
+  // is quiescent here).
+  obs::Registry::global().reset();
 
   core::CampaignRunStats cold_stats;
   std::vector<bgp::RoutingOutcome> cold_outcomes;
@@ -105,6 +111,18 @@ int main(int argc, char** argv) {
             << "  \"equivalent\": "
             << (mismatched_ases == 0 ? "true" : "false") << "\n"
             << "}\n";
+
+  if (!options.obs_report.empty()) {
+    obs::RunReport report = obs::RunReport::capture("perf_campaign_warm");
+    report.value("configs", static_cast<double>(plan.size()))
+        .value("as_count", static_cast<double>(testbed.graph().size()))
+        .value("cold_ms", cold_ms)
+        .value("warm_ms", warm_ms)
+        .value("speedup", speedup)
+        .label("equivalent", mismatched_ases == 0 ? "true" : "false");
+    report.save_json_file(options.obs_report);
+    std::cerr << "[bench] wrote obs report to " << options.obs_report << "\n";
+  }
 
   if (mismatched_ases != 0) {
     std::cerr << "FAIL: " << mismatched_ases

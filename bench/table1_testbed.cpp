@@ -49,5 +49,5 @@ int main(int argc, char** argv) {
              graph.neighbors_with(id, topology::Rel::kCustomer).size())});
   }
   degrees.print(std::cout);
-  return 0;
+  return bench::finish(options, "table1_testbed");
 }

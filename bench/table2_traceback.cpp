@@ -4,10 +4,12 @@
 // this library.
 #include <iostream>
 
+#include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spooftrack;
+  const auto options = bench::BenchOptions::parse(argc, argv);
   util::print_banner(std::cout,
                      "Table II: summary of proposals for IP traceback");
   util::Table table({"Approach", "Manipulates", "Cooperation",
@@ -30,5 +32,5 @@ int main() {
                "the origin manipulates only its own BGP announcements\n"
                "(anycast location sets, prepending, poisoning) and needs\n"
                "no router changes or third-party cooperation.\n";
-  return 0;
+  return bench::finish(options, "table2_traceback");
 }

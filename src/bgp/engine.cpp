@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace spooftrack::bgp {
 
 using topology::AsId;
@@ -124,6 +126,8 @@ RoutingOutcome propagate(const topology::AsGraph& graph_,
                          const SeedTable& seeds, std::vector<Route> current,
                          std::vector<AsId> current_from,
                          const std::vector<bool>& active_round0) {
+  OBS_TIMER("engine.propagate_ns");
+  OBS_COUNT("engine.propagations", 1);
   const AsId origin_id = seeds.origin_id;
   const std::size_t n = graph_.size();
 
@@ -161,6 +165,7 @@ RoutingOutcome propagate(const topology::AsGraph& graph_,
 
   std::uint32_t round = 0;
   for (; round < options_.max_rounds && !active_list.empty(); ++round) {
+    OBS_HIST("engine.frontier", "ases", active_list.size());
     staged.clear();
 
     for (const AsId x : active_list) {
@@ -242,6 +247,7 @@ RoutingOutcome propagate(const topology::AsGraph& graph_,
 
     // Apply phase: commit the changed routes, then derive the next frontier
     // from their neighborhoods.
+    OBS_COUNT("engine.routes_staged", staged.size());
     for (StagedWrite& w : staged) {
       current[w.x] = std::move(w.route);
       current_from[w.x] = w.from;
@@ -266,6 +272,7 @@ RoutingOutcome propagate(const topology::AsGraph& graph_,
     }
   }
 
+  OBS_HIST("engine.rounds", "rounds", round);
   outcome.rounds = round;
   outcome.converged = active_list.empty();
   outcome.best = std::move(current);
@@ -278,6 +285,7 @@ RoutingOutcome propagate(const topology::AsGraph& graph_,
 
 RoutingOutcome Engine::run(const OriginSpec& origin,
                            const Configuration& config) const {
+  OBS_COUNT("engine.cold_runs", 1);
   const SeedTable seeds = build_seeds(graph_, origin, config);
   return propagate(graph_, policy_, options_, origin, config, seeds,
                    std::vector<Route>(graph_.size()),
@@ -296,6 +304,7 @@ RoutingOutcome Engine::run_warm(const OriginSpec& origin,
                                 const Configuration& config,
                                 const Configuration& baseline_config,
                                 RoutingOutcome&& baseline) const {
+  OBS_COUNT("engine.warm_runs", 1);
   const SeedTable seeds = build_seeds(graph_, origin, config);
   const SeedTable base_seeds = build_seeds(graph_, origin, baseline_config);
 
@@ -330,8 +339,12 @@ RoutingOutcome Engine::run_warm(const OriginSpec& origin,
     }
   }
 
+  OBS_HIST("engine.warm.round0_frontier", "ases",
+           std::count(active.begin(), active.end(), true));
+
   if (!any_delta) {
     // Identical seed tables: the baseline fixed point is the answer.
+    OBS_COUNT("engine.warm.noop_hits", 1);
     RoutingOutcome outcome;
     outcome.best = std::move(baseline.best);
     outcome.next_hop = std::move(baseline.next_hop);

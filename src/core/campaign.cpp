@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/config_gen.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -63,6 +64,9 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
                                     const std::vector<bgp::Configuration>& configs,
                                     const CampaignOutcomeSink& sink,
                                     const CampaignRunnerOptions& options) {
+  OBS_TIMER("campaign.total_ns");
+  OBS_COUNT("campaign.runs", 1);
+  OBS_COUNT("campaign.configs", configs.size());
   CampaignRunStats stats;
   stats.configs = configs.size();
   if (configs.empty()) return stats;
@@ -93,6 +97,8 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
   }
   stats.unique_configs = unique.size();
   stats.memo_hits = configs.size() - unique.size();
+  OBS_COUNT("campaign.unique_configs", stats.unique_configs);
+  OBS_COUNT("campaign.memo_hits", stats.memo_hits);
 
   // 2. Similarity ordering over the unique configurations so consecutive
   //    chain steps differ in as few seeds as possible.
@@ -100,6 +106,7 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   if (options.order_chains && unique.size() > 2 &&
       unique.size() <= options.max_ordering_configs) {
+    OBS_TIMER("campaign.order_ns");
     std::vector<bgp::Configuration> view;
     view.reserve(unique.size());
     for (std::size_t u : unique) view.push_back(configs[u]);
@@ -110,6 +117,7 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
   std::size_t workers =
       options.workers == 0 ? util::default_worker_count() : options.workers;
   workers = std::max<std::size_t>(workers, 1);
+  OBS_GAUGE("campaign.workers", workers);
 
   if (!options.warm_start) {
     // Cold baseline: dynamic scheduling over unique configurations (the
@@ -118,6 +126,7 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
     util::parallel_for(
         unique.size(),
         [&](std::size_t u) {
+          OBS_TIMER("campaign.config_ns");
           const bgp::RoutingOutcome outcome =
               engine.run(origin, configs[unique[u]]);
           rounds[u] = outcome.rounds;
@@ -132,6 +141,7 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
   // 3. Warm-start chains: contiguous runs of the ordered plan, one per
   //    worker; only chain heads pay a cold propagation.
   const std::size_t chains = std::min(workers, unique.size());
+  OBS_COUNT("campaign.chains", chains);
   std::vector<CampaignRunStats> chain_stats(chains);
   util::parallel_for(
       chains,
@@ -139,11 +149,13 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
         CampaignRunStats& cs = chain_stats[c];
         const std::size_t begin = c * unique.size() / chains;
         const std::size_t end = (c + 1) * unique.size() / chains;
+        OBS_HIST("campaign.chain_length", "configs", end - begin);
         bgp::RoutingOutcome prev;
         const bgp::Configuration* prev_config = nullptr;
         for (std::size_t pos = begin; pos < end; ++pos) {
           const std::size_t u = order[pos];
           const bgp::Configuration& config = configs[unique[u]];
+          OBS_TIMER("campaign.config_ns");
           bgp::RoutingOutcome outcome;
           if (prev_config != nullptr && prev.converged) {
             // The baseline is discarded after this step: let run_warm

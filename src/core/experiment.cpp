@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/campaign.hpp"
+#include "obs/obs.hpp"
 #include "topology/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -145,10 +146,12 @@ std::uint32_t collapsed_distance(const std::vector<topology::Asn>& path,
 
 DeploymentResult PeeringTestbed::deploy(
     std::vector<bgp::Configuration> configs) const {
+  OBS_TIMER("deploy.total_ns");
   DeploymentResult result;
   result.configs = std::move(configs);
   const std::size_t n = result.configs.size();
   const std::size_t as_count = topo_.graph.size();
+  OBS_COUNT("deploy.configs", n);
 
   result.truth.resize(n);
   result.engine_rounds.assign(n, 0);
@@ -166,6 +169,7 @@ DeploymentResult PeeringTestbed::deploy(
   runner.warm_start = config_.warm_campaign;
   propagate_campaign(engine_, origin_, result.configs,
                      [&](std::size_t i, const bgp::RoutingOutcome& outcome) {
+    OBS_TIMER("deploy.config_pipeline_ns");
     const bgp::Configuration& config = result.configs[i];
     if (!outcome.converged) {
       throw std::runtime_error("routing did not converge for '" +
@@ -200,6 +204,7 @@ DeploymentResult PeeringTestbed::deploy(
               util::hash_combine(i, round)));
         }
       }
+      OBS_COUNT("deploy.traceroutes", traces.size());
       const auto paths = repair_.repair(traces, feed_entries);
       result.measured[i] = inference_.infer(feed_entries, paths);
     }
@@ -218,6 +223,7 @@ DeploymentResult PeeringTestbed::deploy(
   if (config_.measured_catchments) {
     if (!result.measured.empty()) {
       result.sources = measure::baseline_sources(result.measured[0]);
+      OBS_GAUGE("deploy.sources", result.sources.size());
       result.matrix = measure::build_matrix(result.measured, result.sources);
       double multi = 0.0;
       double coverage = 0.0;
@@ -236,6 +242,7 @@ DeploymentResult PeeringTestbed::deploy(
         result.sources.push_back(id);
       }
     }
+    OBS_GAUGE("deploy.sources", result.sources.size());
     result.matrix.assign(n, std::vector<bgp::LinkId>(result.sources.size(),
                                                      bgp::kNoCatchment));
     for (std::size_t i = 0; i < n; ++i) {

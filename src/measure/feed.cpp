@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "topology/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +45,7 @@ FeedSimulator::FeedSimulator(const topology::AsGraph& graph,
 
 std::vector<FeedEntry> FeedSimulator::collect(
     const bgp::RoutingOutcome& outcome) const {
+  OBS_TIMER("measure.feed.collect_ns");
   std::vector<FeedEntry> entries;
   entries.reserve(peers_.size());
   for (topology::AsId peer : peers_) {
@@ -57,6 +59,7 @@ std::vector<FeedEntry> FeedSimulator::collect(
                          route.as_path.end());
     entries.push_back(std::move(entry));
   }
+  OBS_COUNT("measure.feed.entries", entries.size());
   return entries;
 }
 

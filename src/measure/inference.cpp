@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/obs.hpp"
+
 namespace spooftrack::measure {
 
 std::optional<bgp::LinkId> link_from_as_path(
@@ -22,6 +24,7 @@ CatchmentInference::CatchmentInference(const topology::AsGraph& graph,
 InferenceResult CatchmentInference::infer(
     std::span<const FeedEntry> feeds,
     std::span<const AsLevelPath> traces) const {
+  OBS_TIMER("measure.inference.infer_ns");
   const std::size_t link_count = origin_.links.size();
   // Vote counts per AS: [link * 2 + type], type 0 = BGP, type 1 = trace.
   std::vector<std::uint16_t> votes(graph_.size() * link_count * 2, 0);

@@ -4,6 +4,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace spooftrack::measure {
 
 namespace {
@@ -200,6 +202,8 @@ AsLevelPath PathRepair::map_only(const Traceroute& trace) const {
 std::vector<AsLevelPath> PathRepair::repair(
     std::span<const Traceroute> traces,
     std::span<const FeedEntry> feeds) const {
+  OBS_TIMER("measure.repair.batch_ns");
+  OBS_COUNT("measure.repair.traces", traces.size());
   const AddrSeqMap address_index = build_address_index(traces);
   const AsnSeqMap feed_index = build_feed_index(feeds, origin_asn_);
 

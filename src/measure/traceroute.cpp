@@ -1,5 +1,6 @@
 #include "measure/traceroute.hpp"
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace spooftrack::measure {
@@ -28,6 +29,7 @@ bool TracerouteSim::as_silent(topology::AsId id) const noexcept {
 Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
                               topology::AsId probe, topology::AsId origin,
                               std::uint64_t salt) const {
+  OBS_COUNT("measure.traceroute.runs", 1);
   Traceroute trace;
   trace.probe = probe;
 
@@ -49,6 +51,7 @@ Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
   if (path.empty()) {
     // No route: the trace dies after the probe's own gateway.
     emit(probe, plan_.router_address(probe, 0));
+    OBS_HIST("measure.traceroute.hops", "hops", trace.hops.size());
     return trace;
   }
 
@@ -93,6 +96,7 @@ Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
     trace.hops.push_back({AddressPlan::experiment_target()});
     trace.reached = true;
   }
+  OBS_HIST("measure.traceroute.hops", "hops", trace.hops.size());
   return trace;
 }
 

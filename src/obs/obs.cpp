@@ -1,0 +1,246 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace spooftrack::obs {
+
+namespace {
+
+constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
+/// Single-writer relaxed read-modify-write: only the owning thread writes
+/// a cell, so a plain load/store pair is race-free and cheaper than a
+/// fetch_add.
+inline void bump(std::atomic<std::uint64_t>& cell, std::uint64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+inline std::size_t bin_of(std::uint64_t value) noexcept {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+/// Upper bound of histogram bin b (inclusive).
+inline std::uint64_t bin_upper(std::size_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return kNoMin;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+std::string_view kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+double MetricSnapshot::mean() const noexcept {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double MetricSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q / 100.0 * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBins; ++b) {
+    seen += bins[b];
+    if (seen >= rank) {
+      // Never report beyond the observed maximum (the top bin's upper
+      // bound can overshoot it by up to 2x).
+      return static_cast<double>(std::min(bin_upper(b), max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+const MetricSnapshot* Snapshot::find(std::string_view name) const noexcept {
+  for (const MetricSnapshot& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Cell {
+  std::atomic<std::uint64_t> primary{0};  // counter total / gauge / hist count
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{kNoMin};
+  std::atomic<std::uint64_t> max{0};
+  std::atomic<std::uint64_t> seq{0};  // gauge last-write sequence (0 = unset)
+  std::array<std::atomic<std::uint64_t>, kHistogramBins> bins{};
+};
+
+struct Registry::Shard {
+  std::array<Cell, kMaxMetrics> cells;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  // Leaked on purpose: thread-local shard handles may release during late
+  // shutdown, after function-local statics would have been destroyed.
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+MetricId Registry::intern(std::string_view name, Kind kind,
+                          std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) {
+      if (defs_[i].kind != kind) {
+        throw std::logic_error("obs metric '" + std::string(name) +
+                               "' re-interned with a different kind");
+      }
+      return static_cast<MetricId>(i);
+    }
+  }
+  if (defs_.size() >= kMaxMetrics) {
+    throw std::length_error("obs registry full (kMaxMetrics)");
+  }
+  defs_.push_back({std::string(name), std::string(unit), kind});
+  return static_cast<MetricId>(defs_.size() - 1);
+}
+
+Registry::Shard& Registry::acquire_shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_shards_.empty()) {
+    Shard* shard = free_shards_.back();
+    free_shards_.pop_back();
+    return *shard;
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  return *shards_.back();
+}
+
+void Registry::release_shard(Shard& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_shards_.push_back(&shard);
+}
+
+Registry::Shard& Registry::local_shard() {
+  // The lease keeps the shard bound to this thread and retires it (totals
+  // intact — the registry owns the storage) when the thread exits, so a
+  // later thread can reuse it instead of growing the shard list forever.
+  struct Lease {
+    Registry* owner = nullptr;
+    Shard* shard = nullptr;
+    ~Lease() {
+      if (owner != nullptr && shard != nullptr) owner->release_shard(*shard);
+    }
+  };
+  thread_local Lease lease;
+  if (lease.shard == nullptr) {
+    lease.owner = this;
+    lease.shard = &acquire_shard();
+  }
+  return *lease.shard;
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  bump(local_shard().cells[id].primary, delta);
+}
+
+void Registry::set(MetricId id, std::uint64_t value) {
+  Cell& cell = local_shard().cells[id];
+  cell.primary.store(value, std::memory_order_relaxed);
+  cell.seq.store(1 + gauge_seq_.fetch_add(1, std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+void Registry::record(MetricId id, std::uint64_t value) {
+  Cell& cell = local_shard().cells[id];
+  bump(cell.primary, 1);
+  bump(cell.sum, value);
+  if (value < cell.min.load(std::memory_order_relaxed)) {
+    cell.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > cell.max.load(std::memory_order_relaxed)) {
+    cell.max.store(value, std::memory_order_relaxed);
+  }
+  bump(cell.bins[bin_of(value)], 1);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.metrics.resize(defs_.size());
+  std::vector<std::uint64_t> best_seq(defs_.size(), 0);
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    MetricSnapshot& metric = snap.metrics[i];
+    metric.name = defs_[i].name;
+    metric.unit = defs_[i].unit;
+    metric.kind = defs_[i].kind;
+    if (metric.kind == Kind::kHistogram) metric.min = kNoMin;
+  }
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < defs_.size(); ++i) {
+      const Cell& cell = shard->cells[i];
+      MetricSnapshot& metric = snap.metrics[i];
+      switch (defs_[i].kind) {
+        case Kind::kCounter:
+          metric.value += cell.primary.load(std::memory_order_relaxed);
+          break;
+        case Kind::kGauge: {
+          const std::uint64_t seq = cell.seq.load(std::memory_order_relaxed);
+          if (seq > best_seq[i]) {
+            best_seq[i] = seq;
+            metric.value = cell.primary.load(std::memory_order_relaxed);
+          }
+          break;
+        }
+        case Kind::kHistogram: {
+          metric.count += cell.primary.load(std::memory_order_relaxed);
+          metric.sum += cell.sum.load(std::memory_order_relaxed);
+          metric.min = std::min(metric.min,
+                                cell.min.load(std::memory_order_relaxed));
+          metric.max = std::max(metric.max,
+                                cell.max.load(std::memory_order_relaxed));
+          for (std::size_t b = 0; b < kHistogramBins; ++b) {
+            metric.bins[b] += cell.bins[b].load(std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+    }
+  }
+  for (MetricSnapshot& metric : snap.metrics) {
+    if (metric.kind == Kind::kHistogram && metric.count == 0) metric.min = 0;
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (Cell& cell : shard->cells) {
+      cell.primary.store(0, std::memory_order_relaxed);
+      cell.sum.store(0, std::memory_order_relaxed);
+      cell.min.store(kNoMin, std::memory_order_relaxed);
+      cell.max.store(0, std::memory_order_relaxed);
+      cell.seq.store(0, std::memory_order_relaxed);
+      for (auto& bin : cell.bins) bin.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t Registry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return defs_.size();
+}
+
+}  // namespace spooftrack::obs

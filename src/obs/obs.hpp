@@ -1,0 +1,240 @@
+// spooftrack::obs — zero-dependency observability layer.
+//
+// The paper's method lives or dies on per-configuration cost (705
+// configurations, ~20 minutes of BGP convergence each on the real
+// Internet), so knowing where simulation time goes is the prerequisite for
+// every scaling change. This subsystem provides named monotonic counters,
+// last-write-wins gauges, and log₂-binned histograms (which double as
+// timers), recorded through the OBS_* macros below and exported as a
+// machine-readable RunReport (see obs/report.hpp).
+//
+// Threading model: recording never takes a lock. Each thread owns a
+// private shard of cells (single writer); readers merge all shards under
+// the registry mutex. Shards outlive their threads — a thread's totals are
+// retired into a free list on exit and the next thread reuses them — so
+// counts survive the short-lived workers `util::parallel_for` spawns per
+// call. All cell accesses are relaxed atomics: the merged view is a sum of
+// per-thread monotonic values, so no ordering between threads is needed.
+//
+// Compile-time kill switch: building with -DSPOOFTRACK_OBS=OFF (CMake)
+// defines SPOOFTRACK_OBS_ENABLED=0 and every OBS_* macro expands to a
+// no-op that does not evaluate its arguments. The Registry API itself
+// stays available (an instrumented binary links either way); only the
+// macros are gated. The documented telemetry contract lives in
+// docs/observability.md, and tests/test_obs.cpp enforces that every
+// metric name emitted by the code is documented there.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef SPOOFTRACK_OBS_ENABLED
+#define SPOOFTRACK_OBS_ENABLED 1
+#endif
+
+namespace spooftrack::obs {
+
+enum class Kind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// "counter" / "gauge" / "histogram".
+std::string_view kind_name(Kind kind) noexcept;
+
+/// Dense id returned by Registry::intern; stable for the process lifetime.
+using MetricId = std::uint32_t;
+
+/// Hard cap on distinct metrics; intern() throws beyond it. Generous for a
+/// hand-curated vocabulary (~40 metrics today) while keeping shards small
+/// enough to preallocate.
+inline constexpr std::size_t kMaxMetrics = 256;
+
+/// Histogram bins: bin index is std::bit_width(value), so bin 0 holds
+/// zeros and bin b >= 1 holds values in [2^(b-1), 2^b - 1].
+inline constexpr std::size_t kHistogramBins = 65;
+
+/// Merged view of one metric. For counters and gauges only `value` is
+/// meaningful; histograms use count/sum/min/max/bins.
+struct MetricSnapshot {
+  std::string name;
+  std::string unit;  // free-form: "ns", "rounds", "ases", "" for counts
+  Kind kind = Kind::kCounter;
+  std::uint64_t value = 0;  // counter total / gauge last-set value
+  std::uint64_t count = 0;  // histogram samples
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBins> bins{};
+
+  /// sum / count (0 when empty).
+  double mean() const noexcept;
+  /// Nearest-rank percentile over the log₂ bins, reported as the upper
+  /// bound of the selected bin (an upper estimate with ≤ 2x resolution);
+  /// q in [0, 100]. 0 when empty.
+  double percentile(double q) const noexcept;
+
+  friend bool operator==(const MetricSnapshot&,
+                         const MetricSnapshot&) = default;
+};
+
+/// A merged, self-contained copy of the registry (in intern order).
+struct Snapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  const MetricSnapshot* find(std::string_view name) const noexcept;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry used by the OBS_* macros. Never destroyed
+  /// (intentionally leaked) so thread-local shard handles can release
+  /// safely during any shutdown order.
+  static Registry& global();
+
+  /// Returns the id for `name`, creating the metric on first use. Throws
+  /// std::logic_error when the name is already interned with a different
+  /// kind (two subsystems colliding on one name) and std::length_error at
+  /// kMaxMetrics.
+  MetricId intern(std::string_view name, Kind kind, std::string_view unit);
+
+  /// Counter increment. Lock-free: writes this thread's shard only.
+  void add(MetricId id, std::uint64_t delta);
+  /// Gauge set, last write (across all threads) wins.
+  void set(MetricId id, std::uint64_t value);
+  /// Histogram sample (timers record elapsed nanoseconds here).
+  void record(MetricId id, std::uint64_t value);
+
+  /// Merges every shard into a stable snapshot. Deterministic: counters
+  /// and histograms are commutative sums, gauges resolve by a global
+  /// write sequence.
+  Snapshot snapshot() const;
+
+  /// Zeroes all cells in all shards. Callers must quiesce recording
+  /// threads first (intended for tests and between bench phases).
+  void reset();
+
+  std::size_t metric_count() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+ private:
+  struct Cell;
+  struct Shard;
+  struct MetricDef {
+    std::string name;
+    std::string unit;
+    Kind kind = Kind::kCounter;
+  };
+
+  Registry();
+
+  Shard& local_shard();
+  Shard& acquire_shard();
+  void release_shard(Shard& shard);
+
+  mutable std::mutex mutex_;
+  std::vector<MetricDef> defs_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Shard*> free_shards_;
+  std::atomic<std::uint64_t> gauge_seq_{0};
+};
+
+/// Plain steady-clock stopwatch (always available, independent of the
+/// SPOOFTRACK_OBS switch) — the replacement for hand-rolled
+/// std::chrono timing in benches that need the elapsed value itself.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+  void restart() noexcept { start_ = std::chrono::steady_clock::now(); }
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records elapsed nanoseconds into a histogram metric on destruction.
+/// Use through OBS_TIMER so the timer disappears in no-op builds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricId id) noexcept : id_(id) {}
+  ~ScopedTimer() { Registry::global().record(id_, watch_.elapsed_ns()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricId id_;
+  Stopwatch watch_;
+};
+
+}  // namespace spooftrack::obs
+
+#define SPOOFTRACK_OBS_CONCAT_INNER_(a, b) a##b
+#define SPOOFTRACK_OBS_CONCAT_(a, b) SPOOFTRACK_OBS_CONCAT_INNER_(a, b)
+
+#if SPOOFTRACK_OBS_ENABLED
+
+// Interns once per call site (thread-safe static init), then records
+// through the cached id — the steady-state cost is one thread-local load
+// plus a few relaxed atomic stores.
+#define SPOOFTRACK_OBS_ID_(name, kind, unit)                             \
+  ([]() -> ::spooftrack::obs::MetricId {                                 \
+    static const ::spooftrack::obs::MetricId spooftrack_obs_metric_id =  \
+        ::spooftrack::obs::Registry::global().intern((name), (kind),     \
+                                                     (unit));            \
+    return spooftrack_obs_metric_id;                                     \
+  }())
+
+/// Monotonic counter increment: OBS_COUNT("engine.cold_runs", 1).
+#define OBS_COUNT(name, delta)                                             \
+  ::spooftrack::obs::Registry::global().add(                               \
+      SPOOFTRACK_OBS_ID_((name), ::spooftrack::obs::Kind::kCounter, ""),   \
+      static_cast<std::uint64_t>(delta))
+
+/// Gauge set (last write wins): OBS_GAUGE("deploy.sources", n).
+#define OBS_GAUGE(name, value)                                             \
+  ::spooftrack::obs::Registry::global().set(                               \
+      SPOOFTRACK_OBS_ID_((name), ::spooftrack::obs::Kind::kGauge, ""),     \
+      static_cast<std::uint64_t>(value))
+
+/// Histogram sample: OBS_HIST("engine.frontier", "ases", frontier.size()).
+#define OBS_HIST(name, unit, value)                                          \
+  ::spooftrack::obs::Registry::global().record(                              \
+      SPOOFTRACK_OBS_ID_((name), ::spooftrack::obs::Kind::kHistogram,        \
+                         (unit)),                                            \
+      static_cast<std::uint64_t>(value))
+
+/// Scope timer recording nanoseconds into a histogram when the enclosing
+/// scope exits: { OBS_TIMER("campaign.config_ns"); ...work... }
+#define OBS_TIMER(name)                                                      \
+  ::spooftrack::obs::ScopedTimer SPOOFTRACK_OBS_CONCAT_(                     \
+      spooftrack_obs_scoped_timer_, __LINE__)(SPOOFTRACK_OBS_ID_(            \
+      (name), ::spooftrack::obs::Kind::kHistogram, "ns"))
+
+#else  // SPOOFTRACK_OBS=OFF: macros vanish; arguments are never evaluated
+       // (sizeof keeps them semantically checked and silences unused-var
+       // warnings without generating code).
+
+#define OBS_COUNT(name, delta) ((void)sizeof((delta)), (void)0)
+#define OBS_GAUGE(name, value) ((void)sizeof((value)), (void)0)
+#define OBS_HIST(name, unit, value) ((void)sizeof((value)), (void)0)
+#define OBS_TIMER(name) ((void)0)
+
+#endif  // SPOOFTRACK_OBS_ENABLED

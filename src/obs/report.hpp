@@ -1,0 +1,60 @@
+// Structured run reports: a machine-readable telemetry blob every bench
+// and the CLI can emit next to their results.
+//
+// The JSON schema ("spooftrack.obs.v1") is documented in
+// docs/observability.md; write_json's output is deterministic (fixed key
+// order, round-trippable number formatting), so
+// write_json → parse_json → write_json is byte-identical — the property
+// tests/test_obs.cpp locks down and CI validates against a real bench run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace spooftrack::obs {
+
+inline constexpr std::string_view kReportSchema = "spooftrack.obs.v1";
+
+struct RunReport {
+  std::string schema = std::string(kReportSchema);
+  /// Which binary/run produced the report, e.g. "perf_campaign_warm".
+  std::string name;
+  /// Whether the producing binary was compiled with SPOOFTRACK_OBS=ON —
+  /// lets consumers distinguish "no work happened" from "not recorded".
+  bool obs_enabled = SPOOFTRACK_OBS_ENABLED != 0;
+  /// Free-form string annotations (mode, equivalence verdicts, ...).
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Free-form scalar results (wall_ms, speedup, ...): the place for
+  /// run-level numbers that are not registry metrics.
+  std::vector<std::pair<std::string, double>> values;
+  /// Merged registry metrics at capture time.
+  Snapshot metrics;
+
+  /// Snapshot of Registry::global() under `run_name`.
+  static RunReport capture(std::string_view run_name);
+
+  RunReport& label(std::string_view key, std::string_view value);
+  RunReport& value(std::string_view key, double v);
+
+  void write_json(std::ostream& out) const;
+  /// One row per metric: name,kind,unit,count,value,sum,min,max,mean,
+  /// p50,p90,p99.
+  void write_csv(std::ostream& out) const;
+  /// Throws std::runtime_error on write failure.
+  void save_json_file(const std::string& path) const;
+
+  /// Strict parser for the subset of JSON write_json emits (any key order,
+  /// unknown keys ignored). Throws std::runtime_error on malformed input
+  /// or a schema string other than kReportSchema.
+  static RunReport parse_json(std::istream& in);
+  static RunReport parse_json_file(const std::string& path);
+
+  friend bool operator==(const RunReport&, const RunReport&) = default;
+};
+
+}  // namespace spooftrack::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace spooftrack::traffic {
 
 std::vector<SpoofedFlow> SpoofedTrafficGenerator::flows(
@@ -35,6 +37,7 @@ std::vector<ArrivedPacket> SpoofedTrafficGenerator::deliver(
     const std::vector<SpoofedFlow>& flows,
     const bgp::CatchmentMap& catchments, double duration,
     double max_packets) {
+  OBS_TIMER("traffic.deliver_ns");
   std::vector<ArrivedPacket> arrivals;
   for (const SpoofedFlow& flow : flows) {
     if (flow.source_as >= catchments.size()) continue;
@@ -54,6 +57,7 @@ std::vector<ArrivedPacket> SpoofedTrafficGenerator::deliver(
       arrivals.push_back(std::move(arrived));
     }
   }
+  OBS_COUNT("traffic.spoofed_packets", arrivals.size());
   std::sort(arrivals.begin(), arrivals.end(),
             [](const ArrivedPacket& a, const ArrivedPacket& b) {
               return a.timestamp < b.timestamp;

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace spooftrack::util {
 
 namespace {
@@ -39,6 +41,8 @@ std::size_t default_worker_count() noexcept {
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t workers) {
   if (count == 0) return;
+  OBS_COUNT("parallel.invocations", 1);
+  OBS_COUNT("parallel.tasks", count);
   if (workers == 0) workers = default_worker_count();
   workers = std::min(workers, count);
   if (workers <= 1) {

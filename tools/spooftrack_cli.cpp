@@ -10,6 +10,10 @@
 // Every subcommand takes --help. Artifacts written by `deploy` are consumed
 // by `clusters` and `attack`, mirroring the measure-once / analyse-often
 // workflow the paper implies.
+//
+// The global --obs-report=PATH flag (valid before or after the command)
+// writes a spooftrack.obs.v1 JSON RunReport of the run's telemetry; see
+// docs/observability.md.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -24,6 +28,7 @@
 #include "core/prediction.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "obs/report.hpp"
 #include "topology/caida_io.hpp"
 #include "topology/metrics.hpp"
 #include "topology/synth.hpp"
@@ -50,6 +55,9 @@ int usage(int code) {
          "  report    render an artifact as a Markdown campaign report\n"
          "  predict   train/evaluate the catchment predictor on an artifact\n"
          "  campaign  wall-clock planning for real-Internet deployment\n\n"
+         "global flags:\n"
+         "  --obs-report=PATH  write a JSON telemetry RunReport "
+         "(docs/observability.md)\n\n"
          "run 'spooftrack <command> --help' for flags.\n";
   return code;
 }
@@ -446,26 +454,58 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const std::string& command, const std::vector<std::string>& args) {
+  if (command == "topo") return cmd_topo(args);
+  if (command == "plan") return cmd_plan(args);
+  if (command == "deploy") return cmd_deploy(args);
+  if (command == "clusters") return cmd_clusters(args);
+  if (command == "attack") return cmd_attack(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "report") return cmd_report(args);
+  if (command == "campaign") return cmd_campaign(args);
+  if (command == "--help" || command == "help") return usage(0);
+  std::cerr << "unknown command: " << command << "\n";
+  return usage(2);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage(2);
   const std::string command = argv[1];
-  std::vector<std::string> args;
-  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
 
+  // --obs-report is a global flag stripped before subcommand parsing so
+  // every command accepts it uniformly.
+  std::string obs_report;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--obs-report=", 0) == 0) {
+      obs_report = arg.substr(std::string("--obs-report=").size());
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+
+  int rc;
   try {
-    if (command == "topo") return cmd_topo(args);
-    if (command == "plan") return cmd_plan(args);
-    if (command == "deploy") return cmd_deploy(args);
-    if (command == "clusters") return cmd_clusters(args);
-    if (command == "attack") return cmd_attack(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "report") return cmd_report(args);
-    if (command == "campaign") return cmd_campaign(args);
-    if (command == "--help" || command == "help") return usage(0);
+    rc = dispatch(command, args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  std::cerr << "unknown command: " << command << "\n";
-  return usage(2);
+
+  if (rc == 0 && !obs_report.empty()) {
+    try {
+      obs::RunReport::capture("spooftrack-" + command)
+          .save_json_file(obs_report);
+      std::cerr << "wrote obs report to " << obs_report << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "obs report failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return rc;
 }
