@@ -1,0 +1,168 @@
+// Cold propagation throughput across topology sizes and engine worker
+// counts: the in-engine parallelism acceptance bench. For each (size,
+// workers) cell it runs the four canonical configuration shapes
+// (all-plain / prepend / poison / no-export) repeatedly, reports the best
+// wall time, and cross-checks kFull outcome checksums so a speedup can
+// never come from diverging outcomes.
+//
+// On single-core machines the >1-worker cells measure dispatch overhead
+// rather than speedup; hardware_concurrency is reported alongside so the
+// numbers read honestly.
+//
+// Usage: perf_engine [--seed=N] [--obs-report=PATH]
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "bgp/policy.hpp"
+#include "common.hpp"
+#include "obs/obs.hpp"
+#include "topology/synth.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spooftrack;
+
+constexpr topology::Asn kOriginAsn = 47065;
+constexpr std::uint32_t kLinkCount = 7;
+
+struct Size {
+  const char* name;
+  std::uint32_t tier1, transit, stubs;
+  std::uint32_t repeats;
+};
+
+constexpr Size kSizes[] = {
+    {"small", 4, 40, 200, 40},
+    {"medium", 8, 120, 900, 12},
+    {"large", 8, 150, 2500, 4},
+};
+
+constexpr std::uint32_t kWorkerCounts[] = {1, 2, 4, 8};
+
+topology::SynthTopology make_topo(std::uint64_t seed, const Size& size) {
+  topology::SynthConfig synth;
+  synth.seed = seed;
+  synth.tier1_count = size.tier1;
+  synth.transit_count = size.transit;
+  synth.stub_count = size.stubs;
+  synth.origin_asn = kOriginAsn;
+  for (std::uint32_t l = 0; l < kLinkCount; ++l) {
+    synth.reserved_transit_asns.push_back(60000 + l);
+  }
+  return topology::synthesize(synth);
+}
+
+std::vector<bgp::Configuration> make_configs() {
+  std::vector<bgp::Configuration> configs(4);
+  configs[0].label = "all-plain";
+  for (std::uint32_t l = 0; l < kLinkCount; ++l) {
+    configs[0].announcements.push_back({l, 0, {}, {}});
+  }
+  configs[1].label = "prepend";
+  for (std::uint32_t l = 0; l < kLinkCount; ++l) {
+    configs[1].announcements.push_back({l, l == 0 ? 4u : 0u, {}, {}});
+  }
+  configs[2].label = "poison";
+  for (std::uint32_t l = 0; l < 5; ++l) {
+    bgp::AnnouncementSpec spec{l, 0, {}, {}};
+    if (l == 1) spec.poisoned = {60004, 60005};
+    configs[2].announcements.push_back(spec);
+  }
+  configs[3].label = "withdrawn";
+  for (std::uint32_t l = 0; l < kLinkCount; l += 2) {
+    configs[3].announcements.push_back({l, 0, {}, {}});
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+
+  bgp::OriginSpec origin;
+  origin.asn = kOriginAsn;
+  for (std::uint32_t l = 0; l < kLinkCount; ++l) {
+    origin.links.push_back({l, "pop-" + std::to_string(l), 60000 + l});
+  }
+  const auto configs = make_configs();
+
+  std::cout << "{\n  \"bench\": \"perf_engine\",\n"
+            << "  \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency() << ",\n  \"sizes\": [\n";
+
+  bool equivalent = true;
+  bool first_size = true;
+  for (const Size& size : kSizes) {
+    const auto topo = make_topo(options.seed, size);
+    const bgp::RoutingPolicy policy(topo.graph, bgp::PolicyConfig{});
+
+    std::vector<std::uint64_t> serial_sums;
+    if (!first_size) std::cout << ",\n";
+    first_size = false;
+    std::cout << "    {\"name\": \"" << size.name << "\", \"as_count\": "
+              << topo.graph.size() << ", \"workers\": {";
+
+    bool first_cell = true;
+    double serial_ms = 0.0;
+    for (std::uint32_t workers : kWorkerCounts) {
+      bgp::EngineOptions engine_options;
+      engine_options.workers = workers;
+      const bgp::Engine engine(topo.graph, policy, engine_options);
+
+      double best_ms = 0.0;
+      std::vector<std::uint64_t> sums;
+      for (std::uint32_t rep = 0; rep < size.repeats; ++rep) {
+        sums.clear();
+        const obs::Stopwatch watch;
+        for (const auto& config : configs) {
+          const auto outcome = engine.run(origin, config);
+          sums.push_back(
+              bgp::outcome_checksum(outcome, bgp::ChecksumScope::kFull));
+        }
+        const double ms = watch.elapsed_ms();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (workers == 1) {
+        serial_sums = sums;
+        serial_ms = best_ms;
+      } else if (sums != serial_sums) {
+        equivalent = false;
+      }
+
+      if (!first_cell) std::cout << ", ";
+      first_cell = false;
+      std::cout << "\"" << workers
+                << "\": {\"ms\": " << util::fmt_double(best_ms, 2)
+                << ", \"speedup\": "
+                << util::fmt_double(best_ms > 0.0 ? serial_ms / best_ms : 0.0,
+                                    2)
+                << "}";
+    }
+    std::cout << "}}";
+  }
+  std::cout << "\n  ],\n  \"equivalent\": " << (equivalent ? "true" : "false")
+            << "\n}\n";
+
+  if (!options.obs_report.empty()) {
+    obs::RunReport report = obs::RunReport::capture("perf_engine");
+    report
+        .value("hardware_concurrency",
+               static_cast<double>(std::thread::hardware_concurrency()))
+        .label("equivalent", equivalent ? "true" : "false");
+    report.save_json_file(options.obs_report);
+    std::cerr << "[bench] wrote obs report to " << options.obs_report << "\n";
+  }
+
+  if (!equivalent) {
+    std::cerr << "FAIL: parallel outcomes diverge from serial\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,11 +1,13 @@
 #include "bgp/engine.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "util/parallel.hpp"
 
 namespace spooftrack::bgp {
 
@@ -13,15 +15,7 @@ using topology::AsId;
 using topology::kInvalidAsId;
 using topology::Rel;
 
-Engine::Engine(const topology::AsGraph& graph, const RoutingPolicy& policy,
-               EngineOptions options)
-    : graph_(graph), policy_(policy), options_(options) {
-  if (!graph_.frozen()) {
-    throw std::invalid_argument("engine requires a frozen AsGraph");
-  }
-}
-
-namespace {
+namespace detail {
 
 struct Seed {
   std::uint32_t ann = kNoAnnouncement;
@@ -32,7 +26,33 @@ struct SeedTable {
   AsId origin_id = kInvalidAsId;
   std::vector<Seed> seed_of;    // indexed by AsId (link providers only)
   std::vector<bool> has_seed;
+  /// Per link provider: receiver-AsId bitmap of that provider's seed
+  /// announcement's no-export targets; empty when the announcement has
+  /// none. Precomputed so the hot loop replaces a std::find over the
+  /// target ASN list with one bit test.
+  std::vector<std::vector<bool>> no_export_block;
 };
+
+}  // namespace detail
+
+Engine::Engine(const topology::AsGraph& graph, const RoutingPolicy& policy,
+               EngineOptions options)
+    : graph_(graph), policy_(policy), options_(options) {
+  if (!graph_.frozen()) {
+    throw std::invalid_argument("engine requires a frozen AsGraph");
+  }
+}
+
+Engine::Prepared::Prepared(std::unique_ptr<detail::SeedTable> table)
+    : table_(std::move(table)) {}
+Engine::Prepared::Prepared(Prepared&&) noexcept = default;
+Engine::Prepared& Engine::Prepared::operator=(Prepared&&) noexcept = default;
+Engine::Prepared::~Prepared() = default;
+
+namespace {
+
+using detail::Seed;
+using detail::SeedTable;
 
 /// Validates the configuration against the topology and builds the seed
 /// routes each link provider hears from the origin.
@@ -50,6 +70,7 @@ SeedTable build_seeds(const topology::AsGraph& graph,
   table.origin_id = *origin_id;
   table.seed_of.resize(graph.size());
   table.has_seed.assign(graph.size(), false);
+  table.no_export_block.resize(graph.size());
 
   for (std::uint32_t ann = 0; ann < config.announcements.size(); ++ann) {
     const AnnouncementSpec& spec = config.announcements[ann];
@@ -72,6 +93,15 @@ SeedTable build_seeds(const topology::AsGraph& graph,
     }
     table.has_seed[*provider_id] = true;
     table.seed_of[*provider_id] = Seed{ann, seed_path(origin.asn, spec)};
+    if (!spec.no_export_to.empty()) {
+      auto& blocked = table.no_export_block[*provider_id];
+      blocked.assign(graph.size(), false);
+      for (const topology::Asn target : spec.no_export_to) {
+        // Targets absent from the topology can never receive the route
+        // anyway; they simply have no bit to set.
+        if (const auto id = graph.id_of(target)) blocked[*id] = true;
+      }
+    }
   }
   return table;
 }
@@ -115,27 +145,58 @@ bool export_filter_equal(AsId p, const SeedTable& a, const Configuration& ca,
          a.seed_of[p].ann == b.seed_of[p].ann && ea == eb;
 }
 
+/// A route change produced by the compute phase, before interning. The
+/// winner's path is NOT interned here — it is described as (sender_asn,
+/// parent) and interned by the serial commit phase, which is what keeps the
+/// parallel compute phase free of arena writes and the resulting ids
+/// independent of the thread count.
+struct StagedWrite {
+  AsId x = kInvalidAsId;
+  AsId from = kInvalidAsId;
+  std::uint32_t ann = kNoAnnouncement;
+  PathId parent = kEmptyPath;
+  topology::Asn sender_asn = 0;
+  Rel learned_from = Rel::kProvider;
+  std::uint8_t local_pref = kPrefProvider;
+  bool includes_sender = false;
+  bool has_route = false;
+};
+
 /// The shared Jacobi fixed-point loop behind Engine::run and
 /// Engine::run_warm. `current`/`current_from` is the starting routing state
 /// (all-invalid on a cold start, the baseline fixed point on a warm start)
-/// and `active_round0` selects which ASes recompute in round 0.
+/// with path ids in `arena_ptr`, and `active_round0` selects which ASes
+/// recompute in round 0.
 RoutingOutcome propagate(const topology::AsGraph& graph_,
                          const RoutingPolicy& policy_,
                          const EngineOptions& options_,
-                         const OriginSpec& origin, const Configuration& config,
-                         const SeedTable& seeds, std::vector<Route> current,
+                         const OriginSpec& origin, const SeedTable& seeds,
+                         std::shared_ptr<PathArena> arena_ptr,
+                         std::vector<Route> current,
                          std::vector<AsId> current_from,
                          const std::vector<bool>& active_round0) {
   OBS_TIMER("engine.propagate_ns");
   OBS_COUNT("engine.propagations", 1);
+  PathArena& arena = *arena_ptr;
   const AsId origin_id = seeds.origin_id;
   const std::size_t n = graph_.size();
+  const std::size_t nodes_before = arena.node_count();
+  const std::uint64_t hits_before = arena.hits();
 
   RoutingOutcome outcome;
 
   // The origin never holds a route to its own prefix.
   current[origin_id] = Route{};
   current_from[origin_id] = kInvalidAsId;
+
+  // Intern the seed paths up front, in ascending provider order — the only
+  // interning outside the commit phase, and deterministic by construction.
+  std::vector<PathId> seed_path_of(n, kEmptyPath);
+  for (AsId p = 0; p < n; ++p) {
+    if (seeds.has_seed[p]) {
+      seed_path_of[p] = arena.intern(seeds.seed_of[p].path);
+    }
+  }
 
   std::vector<std::uint32_t> settled(n, 0);
 
@@ -145,149 +206,255 @@ RoutingOutcome propagate(const topology::AsGraph& graph_,
   // frontier is `active_round0` (every AS on a cold start, only
   // delta-affected ASes on a warm start).
   //
-  // Instead of a second full buffer, each round stages its changed routes
-  // and applies them only after every active AS has computed — all reads of
-  // `current` happen before any write, so the schedule (and therefore every
-  // per-round result) is exactly synchronous Jacobi.
-  struct StagedWrite {
-    AsId x;
-    AsId from;
-    Route route;
-  };
-  std::vector<StagedWrite> staged;
-
+  // Each round splits into a compute phase that reads ONLY round-(k-1)
+  // state (current/current_from/arena) and stages changed routes, and a
+  // serial commit phase that interns paths and applies the writes. Because
+  // compute is read-only, the frontier can be evaluated on several threads:
+  // chunks of active_list each fill their own staging buffer, and the
+  // commit walks the buffers in chunk order — the exact order a serial
+  // sweep over active_list would produce, so results (and even arena node
+  // ids) are bit-identical for every worker count.
   std::vector<AsId> active_list;
   active_list.reserve(n);
   for (AsId x = 0; x < n; ++x) {
     if (x != origin_id && active_round0[x]) active_list.push_back(x);
   }
+  const bool had_initial_frontier = !active_list.empty();
   std::vector<bool> queued(n, false);
 
+  // Evaluates one active AS against its neighbors' round-(k-1) routes and
+  // stages a write when its best route changed. Read-only on shared state;
+  // safe to call concurrently for distinct `x`.
+  const auto evaluate = [&](AsId x, std::vector<StagedWrite>& out) {
+    const topology::Asn x_asn = graph_.asn_of(x);
+    CandidateRef best_ref;
+    bool have_best = false;
+
+    for (const topology::Neighbor& nb : graph_.neighbors(x)) {
+      CandidateRef cand;
+      if (nb.id == origin_id) {
+        if (!seeds.has_seed[x]) continue;
+        // Direct announcement from the origin over this peering link.
+        const Seed& seed = seeds.seed_of[x];
+        cand.sender = origin_id;
+        cand.sender_asn = origin.asn;
+        cand.rel_of_sender = nb.rel;  // origin is our customer
+        cand.ann = seed.ann;
+        cand.arena = &arena;
+        cand.learned_path = seed_path_of[x];
+        cand.path_includes_sender = true;
+      } else {
+        const Route& learned = current[nb.id];
+        if (!learned.valid()) continue;
+        // Valley-free export rule at the sender: from the sender's
+        // perspective, x is reverse(nb.rel).
+        if (!policy_.exports(learned.learned_from,
+                             topology::reverse(nb.rel))) {
+          continue;
+        }
+        // BGP-community export control: a link provider whose best route
+        // is its own seed withholds it from no-export targets (one bit
+        // test against the precomputed bitmap).
+        const auto& blocked = seeds.no_export_block[nb.id];
+        if (!blocked.empty() && seeds.seed_of[nb.id].ann == learned.ann &&
+            blocked[x]) {
+          continue;
+        }
+        cand.sender = nb.id;
+        cand.sender_asn = graph_.asn_of(nb.id);
+        cand.rel_of_sender = nb.rel;
+        cand.ann = learned.ann;
+        cand.arena = &arena;
+        cand.learned_path = learned.path;
+        cand.path_includes_sender = false;
+      }
+      cand.local_pref = policy_.local_pref(x, cand.rel_of_sender);
+
+      if (!policy_.accepts(x, x_asn, cand.rel_of_sender, cand)) continue;
+      if (!have_best || policy_.better(x, x_asn, cand, best_ref)) {
+        best_ref = cand;
+        have_best = true;
+      }
+    }
+
+    // Compare the winner with the previous round's route WITHOUT interning
+    // its path: hash-consing makes "current path == [sender] + learned
+    // path" a head/tail id check.
+    const Route& cur = current[x];
+    if (!have_best) {
+      // Unrouted entries are always stored as exactly Route{}, so validity
+      // plus next hop cover full equality with the (invalid) winner.
+      if (current_from[x] == kInvalidAsId && !cur.valid()) return;
+      StagedWrite w;
+      w.x = x;
+      out.push_back(w);
+      return;
+    }
+    const bool same =
+        current_from[x] == best_ref.sender && cur.ann == best_ref.ann &&
+        cur.learned_from == best_ref.rel_of_sender &&
+        cur.local_pref == best_ref.local_pref &&
+        (best_ref.path_includes_sender
+             ? cur.path == best_ref.learned_path
+             : (cur.path != kEmptyPath &&
+                arena.head(cur.path) == best_ref.sender_asn &&
+                arena.tail(cur.path) == best_ref.learned_path));
+    if (same) return;
+    StagedWrite w;
+    w.x = x;
+    w.from = best_ref.sender;
+    w.ann = best_ref.ann;
+    w.parent = best_ref.learned_path;
+    w.sender_asn = best_ref.sender_asn;
+    w.learned_from = best_ref.rel_of_sender;
+    w.local_pref = best_ref.local_pref;
+    w.includes_sender = best_ref.path_includes_sender;
+    w.has_route = true;
+    out.push_back(w);
+  };
+
+  const std::size_t workers = options_.workers == 0
+                                  ? util::default_worker_count()
+                                  : options_.workers;
+  std::unique_ptr<util::WorkerPool> pool;
+  if (workers > 1) {
+    pool = std::make_unique<util::WorkerPool>(workers - 1);
+    OBS_GAUGE("engine.parallel.workers", workers);
+  }
+  std::vector<std::vector<StagedWrite>> chunk_staged(
+      pool ? workers * 4 : std::size_t{1});
+
   std::uint32_t round = 0;
+  std::uint32_t last_staged_round = 0;
+  bool any_staged = false;
   for (; round < options_.max_rounds && !active_list.empty(); ++round) {
     OBS_HIST("engine.frontier", "ases", active_list.size());
-    staged.clear();
+    for (auto& chunk : chunk_staged) chunk.clear();
 
-    for (const AsId x : active_list) {
-      const topology::Asn x_asn = graph_.asn_of(x);
-      CandidateRef best_ref;
-      bool have_best = false;
+    const bool go_parallel =
+        pool && active_list.size() >= options_.parallel_min_frontier;
+    const std::size_t chunks =
+        go_parallel ? std::min(active_list.size(), chunk_staged.size()) : 1;
+    if (go_parallel) {
+      OBS_COUNT("engine.parallel.rounds", 1);
+      const std::size_t per = (active_list.size() + chunks - 1) / chunks;
+      pool->run(chunks, [&](std::size_t c) {
+        const std::size_t lo = c * per;
+        const std::size_t hi = std::min(lo + per, active_list.size());
+        OBS_HIST("engine.parallel.chunk_ases", "ases", hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          evaluate(active_list[i], chunk_staged[c]);
+        }
+      });
+    } else {
+      for (const AsId x : active_list) evaluate(x, chunk_staged[0]);
+    }
 
-      for (const topology::Neighbor& n : graph_.neighbors(x)) {
-        CandidateRef cand;
-        if (n.id == origin_id) {
-          if (!seeds.has_seed[x]) continue;
-          // Direct announcement from the origin over this peering link.
-          const Seed& seed = seeds.seed_of[x];
-          cand.sender = origin_id;
-          cand.sender_asn = origin.asn;
-          cand.rel_of_sender = n.rel;  // origin is our customer
-          cand.ann = seed.ann;
-          cand.learned_path = &seed.path;
-          cand.path_includes_sender = true;
+    // Commit phase (serial): intern winners and apply the writes in chunk
+    // order == active_list order, deriving the next frontier as we go.
+    // Activation is export-filtered: neighbor `nb` of a changed AS joins
+    // the frontier only when Gao-Rexford export rules let nb see the old
+    // or the new route — a stub whose provider-learned route changed
+    // exports to nobody, so its change activates nobody. Skipped neighbors
+    // provably have unchanged candidate sets and would stage nothing.
+    active_list.clear();
+    std::size_t staged_total = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (const StagedWrite& w : chunk_staged[c]) {
+        ++staged_total;
+        Route& slot = current[w.x];
+        const bool old_valid = slot.valid();
+        const Rel old_learned_from = slot.learned_from;
+        if (w.has_route) {
+          Route route;
+          route.ann = w.ann;
+          route.path = w.includes_sender
+                           ? w.parent
+                           : arena.prepend(w.sender_asn, w.parent);
+          route.learned_from = w.learned_from;
+          route.local_pref = w.local_pref;
+          slot = route;
         } else {
-          const Route& learned = current[n.id];
-          if (!learned.valid()) continue;
-          // Valley-free export rule at the sender: from the sender's
-          // perspective, x is reverse(n.rel).
-          if (!policy_.exports(learned.learned_from,
-                               topology::reverse(n.rel))) {
-            continue;
-          }
-          // BGP-community export control: a link provider whose best route
-          // is its own seed withholds it from no-export targets.
-          if (seeds.has_seed[n.id] &&
-              seeds.seed_of[n.id].ann == learned.ann) {
-            const auto& blocked =
-                config.announcements[learned.ann].no_export_to;
-            if (std::find(blocked.begin(), blocked.end(), x_asn) !=
-                blocked.end()) {
+          slot = Route{};
+        }
+        current_from[w.x] = w.from;
+        settled[w.x] = round + 1;
+        if (options_.activity_tracking) {
+          for (const topology::Neighbor& nb : graph_.neighbors(w.x)) {
+            if (nb.id == origin_id || queued[nb.id]) continue;
+            // nb.rel is nb's relationship as seen from w.x, which is
+            // exactly the receiver side of the sender's export decision.
+            if (!((old_valid && policy_.exports(old_learned_from, nb.rel)) ||
+                  (w.has_route && policy_.exports(w.learned_from, nb.rel)))) {
               continue;
             }
+            queued[nb.id] = true;
+            active_list.push_back(nb.id);
           }
-          cand.sender = n.id;
-          cand.sender_asn = graph_.asn_of(n.id);
-          cand.rel_of_sender = n.rel;
-          cand.ann = learned.ann;
-          cand.learned_path = &learned.as_path;
-          cand.path_includes_sender = false;
         }
-        cand.local_pref = policy_.local_pref(x, cand.rel_of_sender);
-
-        if (!policy_.accepts(x, x_asn, cand.rel_of_sender, cand)) continue;
-        if (!have_best || policy_.better(x, x_asn, cand, best_ref)) {
-          best_ref = cand;
-          have_best = true;
-        }
-      }
-
-      // Materialise the winner and compare with the previous round's route.
-      Route winner;
-      AsId winner_from = kInvalidAsId;
-      if (have_best) {
-        winner.ann = best_ref.ann;
-        winner.learned_from = best_ref.rel_of_sender;
-        winner.local_pref = best_ref.local_pref;
-        if (best_ref.path_includes_sender) {
-          winner.as_path = *best_ref.learned_path;
-        } else {
-          winner.as_path.reserve(best_ref.learned_path->size() + 1);
-          winner.as_path.push_back(best_ref.sender_asn);
-          winner.as_path.insert(winner.as_path.end(),
-                                best_ref.learned_path->begin(),
-                                best_ref.learned_path->end());
-        }
-        winner_from = best_ref.sender;
-      }
-
-      if (winner_from != current_from[x] || !(winner == current[x])) {
-        staged.push_back({x, winner_from, std::move(winner)});
       }
     }
-
-    // Apply phase: commit the changed routes, then derive the next frontier
-    // from their neighborhoods.
-    OBS_COUNT("engine.routes_staged", staged.size());
-    for (StagedWrite& w : staged) {
-      current[w.x] = std::move(w.route);
-      current_from[w.x] = w.from;
-      settled[w.x] = round + 1;
+    OBS_COUNT("engine.routes_staged", staged_total);
+    if (staged_total != 0) {
+      any_staged = true;
+      last_staged_round = round;
     }
-    active_list.clear();
+
     if (!options_.activity_tracking) {
-      if (!staged.empty()) {
+      if (staged_total != 0) {
         for (AsId x = 0; x < n; ++x) {
           if (x != origin_id) active_list.push_back(x);
         }
       }
     } else {
-      for (const StagedWrite& w : staged) {
-        for (const topology::Neighbor& nb : graph_.neighbors(w.x)) {
-          if (nb.id == origin_id || queued[nb.id]) continue;
-          queued[nb.id] = true;
-          active_list.push_back(nb.id);
-        }
-      }
       for (const AsId x : active_list) queued[x] = false;
     }
   }
 
   OBS_HIST("engine.rounds", "rounds", round);
-  outcome.rounds = round;
+  OBS_HIST("engine.arena.nodes", "nodes", arena.node_count());
+  OBS_COUNT("engine.arena.interned", arena.node_count() - nodes_before);
+  OBS_COUNT("engine.arena.hits", arena.hits() - hits_before);
   outcome.converged = active_list.empty();
+  // Report rounds with unfiltered-frontier semantics: the last staging
+  // round, plus the trailing no-op round an unfiltered frontier would run,
+  // plus the empty round that detects convergence. Export-filtered
+  // activation may terminate the loop earlier (it skips evaluations that
+  // provably stage nothing), but the reported count stays bit-compatible
+  // with the pre-arena engine the goldens were captured from.
+  if (!outcome.converged) {
+    outcome.rounds = round;
+  } else if (any_staged) {
+    outcome.rounds = std::min(last_staged_round + 2, options_.max_rounds);
+  } else {
+    outcome.rounds = had_initial_frontier ? 1u : 0u;
+  }
   outcome.best = std::move(current);
   outcome.next_hop = std::move(current_from);
   outcome.settled_round = std::move(settled);
+  outcome.paths = std::move(arena_ptr);
   return outcome;
 }
 
 }  // namespace
 
+Engine::Prepared Engine::prepare(const OriginSpec& origin,
+                                 const Configuration& config) const {
+  return Prepared(
+      std::make_unique<detail::SeedTable>(build_seeds(graph_, origin, config)));
+}
+
 RoutingOutcome Engine::run(const OriginSpec& origin,
                            const Configuration& config) const {
+  return run(origin, config, prepare(origin, config));
+}
+
+RoutingOutcome Engine::run(const OriginSpec& origin,
+                           const Configuration& /*config*/,
+                           const Prepared& seeds) const {
   OBS_COUNT("engine.cold_runs", 1);
-  const SeedTable seeds = build_seeds(graph_, origin, config);
-  return propagate(graph_, policy_, options_, origin, config, seeds,
+  return propagate(graph_, policy_, options_, origin, *seeds.table_,
+                   std::make_shared<PathArena>(),
                    std::vector<Route>(graph_.size()),
                    std::vector<AsId>(graph_.size(), kInvalidAsId),
                    std::vector<bool>(graph_.size(), true));
@@ -304,12 +471,22 @@ RoutingOutcome Engine::run_warm(const OriginSpec& origin,
                                 const Configuration& config,
                                 const Configuration& baseline_config,
                                 RoutingOutcome&& baseline) const {
+  return run_warm(origin, config, prepare(origin, config), baseline_config,
+                  prepare(origin, baseline_config), std::move(baseline));
+}
+
+RoutingOutcome Engine::run_warm(const OriginSpec& origin,
+                                const Configuration& config,
+                                const Prepared& seeds_prep,
+                                const Configuration& baseline_config,
+                                const Prepared& baseline_seeds,
+                                RoutingOutcome&& baseline) const {
   OBS_COUNT("engine.warm_runs", 1);
-  const SeedTable seeds = build_seeds(graph_, origin, config);
-  const SeedTable base_seeds = build_seeds(graph_, origin, baseline_config);
+  const SeedTable& seeds = *seeds_prep.table_;
+  const SeedTable& base_seeds = *baseline_seeds.table_;
 
   if (baseline.best.size() != graph_.size() ||
-      baseline.next_hop.size() != graph_.size()) {
+      baseline.next_hop.size() != graph_.size() || !baseline.paths) {
     throw std::invalid_argument(
         "warm-start baseline outcome does not match the topology");
   }
@@ -349,23 +526,67 @@ RoutingOutcome Engine::run_warm(const OriginSpec& origin,
     outcome.best = std::move(baseline.best);
     outcome.next_hop = std::move(baseline.next_hop);
     outcome.settled_round.assign(graph_.size(), 0);
+    outcome.paths = std::move(baseline.paths);
     outcome.rounds = 0;
     outcome.converged = true;
     return outcome;
   }
 
-  return propagate(graph_, policy_, options_, origin, config, seeds,
-                   std::move(baseline.best), std::move(baseline.next_hop),
-                   active);
+  // Arena ownership. Three cases, cheapest first:
+  //   * sole owner, reasonably sized  → extend the baseline arena in place
+  //     (the chained-campaign fast path: zero copies);
+  //   * shared, reasonably sized      → id-preserving prefix clone, so the
+  //     moved-in routes stay valid without rewriting a single id;
+  //   * oversized (long warm chains)  → compact: re-intern only the paths
+  //     the baseline routes still reference, rewriting their ids.
+  std::vector<Route> current = std::move(baseline.best);
+  std::shared_ptr<PathArena> arena;
+  const bool oversized =
+      baseline.paths->node_count() > options_.arena_compact_nodes;
+  if (!oversized && baseline.paths.use_count() == 1) {
+    arena = std::const_pointer_cast<PathArena>(baseline.paths);
+    baseline.paths.reset();
+  } else if (!oversized) {
+    PathId max_id = kEmptyPath;
+    for (const Route& r : current) max_id = std::max(max_id, r.path);
+    auto fresh = std::make_shared<PathArena>();
+    fresh->adopt_prefix(*baseline.paths, max_id);
+    arena = std::move(fresh);
+  } else {
+    OBS_COUNT("engine.arena.compactions", 1);
+    auto fresh = std::make_shared<PathArena>();
+    std::vector<PathId> memo(baseline.paths->node_count() + 1,
+                             PathArena::kNoMigration);
+    for (Route& r : current) {
+      if (r.path != kEmptyPath) {
+        r.path = fresh->migrate(*baseline.paths, r.path, memo);
+      }
+    }
+    arena = std::move(fresh);
+  }
+
+  return propagate(graph_, policy_, options_, origin, seeds,
+                   std::move(arena), std::move(current),
+                   std::move(baseline.next_hop), active);
 }
 
 std::vector<Engine::CandidateInfo> Engine::candidates(
     AsId as_id, const OriginSpec& origin, const Configuration& config,
     const RoutingOutcome& outcome) const {
-  const SeedTable seeds = build_seeds(graph_, origin, config);
+  return candidates(as_id, origin, config, prepare(origin, config), outcome);
+}
+
+std::vector<Engine::CandidateInfo> Engine::candidates(
+    AsId as_id, const OriginSpec& origin, const Configuration& /*config*/,
+    const Prepared& prepared, const RoutingOutcome& outcome) const {
+  const SeedTable& seeds = *prepared.table_;
   std::vector<CandidateInfo> out;
   if (as_id == seeds.origin_id) return out;
 
+  // Seed paths are configuration data, not outcome data; intern the one
+  // this AS may hear into a throwaway arena (CandidateRef carries its own
+  // arena pointer, so mixing it with outcome-arena candidates is fine).
+  PathArena seed_arena;
   const topology::Asn x_asn = graph_.asn_of(as_id);
   for (const topology::Neighbor& n : graph_.neighbors(as_id)) {
     CandidateRef cand;
@@ -376,7 +597,8 @@ std::vector<Engine::CandidateInfo> Engine::candidates(
       cand.sender_asn = origin.asn;
       cand.rel_of_sender = n.rel;
       cand.ann = seed.ann;
-      cand.learned_path = &seed.path;
+      cand.arena = &seed_arena;
+      cand.learned_path = seed_arena.intern(seed.path);
       cand.path_includes_sender = true;
     } else {
       const Route& learned = outcome.best[n.id];
@@ -384,18 +606,17 @@ std::vector<Engine::CandidateInfo> Engine::candidates(
       if (!policy_.exports(learned.learned_from, topology::reverse(n.rel))) {
         continue;
       }
-      if (seeds.has_seed[n.id] && seeds.seed_of[n.id].ann == learned.ann) {
-        const auto& blocked = config.announcements[learned.ann].no_export_to;
-        if (std::find(blocked.begin(), blocked.end(), x_asn) !=
-            blocked.end()) {
-          continue;
-        }
+      const auto& blocked = seeds.no_export_block[n.id];
+      if (!blocked.empty() && seeds.seed_of[n.id].ann == learned.ann &&
+          blocked[as_id]) {
+        continue;
       }
       cand.sender = n.id;
       cand.sender_asn = graph_.asn_of(n.id);
       cand.rel_of_sender = n.rel;
       cand.ann = learned.ann;
-      cand.learned_path = &learned.as_path;
+      cand.arena = outcome.paths.get();
+      cand.learned_path = learned.path;
       cand.path_includes_sender = false;
     }
     cand.local_pref = policy_.local_pref(as_id, cand.rel_of_sender);
@@ -410,6 +631,49 @@ std::vector<Engine::CandidateInfo> Engine::candidates(
     out.push_back(info);
   }
   return out;
+}
+
+bool routes_equal(const RoutingOutcome& a, const RoutingOutcome& b,
+                  AsId id) {
+  if (a.next_hop[id] != b.next_hop[id]) return false;
+  const Route& ra = a.best[id];
+  const Route& rb = b.best[id];
+  if (ra.ann != rb.ann || ra.learned_from != rb.learned_from ||
+      ra.local_pref != rb.local_pref) {
+    return false;
+  }
+  if (!ra.valid()) return true;
+  return a.paths->equal(ra.path, *b.paths, rb.path);
+}
+
+std::uint64_t outcome_checksum(const RoutingOutcome& outcome,
+                               ChecksumScope scope) {
+  // FNV-1a 64. The mixing order is a compatibility contract with the
+  // goldens in tests/test_equivalence.cpp, captured from the pre-arena
+  // engine — do not reorder.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (AsId as = 0; as < outcome.best.size(); ++as) {
+    const Route& r = outcome.best[as];
+    mix(r.ann);
+    mix(static_cast<std::uint64_t>(r.learned_from));
+    mix(r.local_pref);
+    if (outcome.paths) {
+      mix(outcome.paths->length(r.path));
+      for (const topology::Asn asn : outcome.paths->view(r.path)) mix(asn);
+    } else {
+      mix(0);
+    }
+    mix(outcome.next_hop[as] == kInvalidAsId
+            ? ~0ULL
+            : static_cast<std::uint64_t>(outcome.next_hop[as]));
+    if (scope == ChecksumScope::kFull) mix(outcome.settled_round[as]);
+  }
+  if (scope == ChecksumScope::kFull) mix(outcome.rounds);
+  return h;
 }
 
 std::vector<AsId> forwarding_path(const RoutingOutcome& outcome,

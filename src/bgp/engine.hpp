@@ -9,20 +9,34 @@
 // cap turns pathological custom policies into a reported error instead of a
 // hang.
 //
+// AS-paths live in a hash-consed PathArena owned by the outcome (see
+// path_arena.hpp); routes are POD and the propagation loop never allocates
+// per route. The compute phase of each round is read-only over the previous
+// round's state, which is what lets the engine evaluate the frontier on
+// several threads while staying bit-identical to the serial schedule: every
+// write — including all arena interning — happens in the serial commit
+// phase, in frontier order.
+//
 // The origin AS is modelled explicitly: it originates the prefix on the
 // configured peering links (with prepending / poisoning encoded in the seed
 // AS-path) and never transits routes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bgp/announcement.hpp"
+#include "bgp/path_arena.hpp"
 #include "bgp/policy.hpp"
 #include "bgp/route.hpp"
 #include "topology/as_graph.hpp"
 
 namespace spooftrack::bgp {
+
+namespace detail {
+struct SeedTable;
+}  // namespace detail
 
 struct EngineOptions {
   /// Hard cap on Jacobi rounds; converging instances use far fewer
@@ -32,12 +46,24 @@ struct EngineOptions {
   /// Semantically transparent (the fixed point is identical); exists as an
   /// ablation knob for the performance claim in docs/architecture.md.
   bool activity_tracking = true;
+  /// Threads evaluating each round's frontier (compute phase only; commit
+  /// stays serial, so results are bit-identical for every value). 1 = fully
+  /// serial, 0 = util::default_worker_count().
+  std::size_t workers = 1;
+  /// Frontiers smaller than this are evaluated serially even when workers
+  /// > 1 — dispatch overhead dwarfs the work on the convergence tail.
+  std::size_t parallel_min_frontier = 256;
+  /// A warm start whose baseline arena holds more nodes than this compacts
+  /// it (re-interning only live paths) instead of extending it; bounds
+  /// memory along long warm-start chains.
+  std::size_t arena_compact_nodes = std::size_t{1} << 21;
 };
 
 struct RoutingOutcome {
   /// Best route per AsId; invalid (ann == kNoAnnouncement) when the AS has
   /// no route to the prefix. The origin's own entry is invalid by
-  /// convention (it originates rather than routes).
+  /// convention (it originates rather than routes). Route::path ids live
+  /// in `paths`.
   std::vector<Route> best;
   /// Data-plane next hop per AsId (kInvalidAsId when unrouted).
   std::vector<topology::AsId> next_hop;
@@ -47,9 +73,41 @@ struct RoutingOutcome {
   /// outcome the rounds are counted from the warm start (0 = carried over
   /// unchanged from the baseline), not from an empty routing table.
   std::vector<std::uint32_t> settled_round;
+  /// Arena holding every Route::path above. Shared so warm starts can
+  /// extend a baseline's arena in place when they are its sole owner, and
+  /// so outcomes stay cheap to move around.
+  std::shared_ptr<const PathArena> paths;
   std::uint32_t rounds = 0;
   bool converged = false;
+
+  /// Materialised AS-path of `id`'s best route (empty when unrouted).
+  std::vector<topology::Asn> path_of(topology::AsId id) const {
+    return paths ? paths->materialize(best[id].path)
+                 : std::vector<topology::Asn>{};
+  }
+  /// AS-path length of `id`'s best route (0 when unrouted).
+  std::uint32_t path_length(topology::AsId id) const noexcept {
+    return paths ? paths->length(best[id].path) : 0u;
+  }
 };
+
+/// Content equality of one AS's routing entry across two outcomes,
+/// regardless of which arenas the outcomes use (Route::operator== compares
+/// PathIds and is only meaningful within one arena).
+bool routes_equal(const RoutingOutcome& a, const RoutingOutcome& b,
+                  topology::AsId id);
+
+/// What outcome_checksum covers: kRoutes hashes the converged routing state
+/// (best routes with full paths + next hops) — identical across cold/warm
+/// and serial/parallel runs of the same configuration; kFull additionally
+/// hashes settled_round and rounds, which warm starts deliberately change.
+enum class ChecksumScope { kRoutes, kFull };
+
+/// FNV-1a 64 digest of an outcome, stable across processes and platforms.
+/// The golden-equivalence suite pins these against checksums captured from
+/// the pre-arena engine.
+std::uint64_t outcome_checksum(const RoutingOutcome& outcome,
+                               ChecksumScope scope);
 
 class Engine {
  public:
@@ -57,12 +115,37 @@ class Engine {
   Engine(const topology::AsGraph& graph, const RoutingPolicy& policy,
          EngineOptions options = {});
 
-  /// Routes one configuration. Thread-safe: `run` is const and keeps all
-  /// mutable state on the stack, so configurations can run in parallel.
+  /// A validated, reusable seed table for one (origin, configuration)
+  /// pair: the per-link-provider seed routes plus the precomputed
+  /// no-export block bitmaps. Campaigns that propagate the same
+  /// configuration repeatedly (or chain warm starts through it) prepare it
+  /// once instead of re-validating per run. Tied to the Engine's graph.
+  class Prepared {
+   public:
+    Prepared(Prepared&&) noexcept;
+    Prepared& operator=(Prepared&&) noexcept;
+    ~Prepared();
+
+   private:
+    friend class Engine;
+    explicit Prepared(std::unique_ptr<detail::SeedTable> table);
+    std::unique_ptr<detail::SeedTable> table_;
+  };
+
+  /// Validates `config` against the topology and builds its seed table.
   /// Throws std::invalid_argument for malformed configurations or origins
   /// whose link providers are not providers of the origin in the graph.
+  Prepared prepare(const OriginSpec& origin, const Configuration& config) const;
+
+  /// Routes one configuration. Thread-safe: `run` is const and keeps all
+  /// mutable state on the stack, so configurations can run in parallel
+  /// (on top of the per-run compute-phase parallelism options_.workers
+  /// selects). Throws like `prepare`.
   RoutingOutcome run(const OriginSpec& origin,
                      const Configuration& config) const;
+  /// As above, reusing a prepared seed table (skips validation entirely).
+  RoutingOutcome run(const OriginSpec& origin, const Configuration& config,
+                     const Prepared& seeds) const;
 
   /// Warm-start incremental propagation: routes `config` starting from
   /// `baseline`, the converged outcome of `baseline_config` under the same
@@ -73,8 +156,9 @@ class Engine {
   /// demand by the ordinary changed-neighbor tracking.
   ///
   /// Equivalence guarantee: `best` and `next_hop` (including announcement
-  /// ids inside each Route) are bit-identical to a cold `run(origin,
-  /// config)`. The instance is dispute-wheel-free (see the file comment),
+  /// ids and full AS-paths inside each Route) are content-identical to a
+  /// cold `run(origin, config)` — outcome_checksum(., kRoutes) matches
+  /// exactly. The instance is dispute-wheel-free (see the file comment),
   /// so the fixed point is unique and the iteration reaches it from any
   /// starting state. `rounds` and `settled_round` are relative to the warm
   /// run (typically much smaller than the cold values) and therefore NOT
@@ -88,12 +172,21 @@ class Engine {
                           const Configuration& baseline_config,
                           const RoutingOutcome& baseline) const;
 
-  /// Overload consuming the baseline: moves its routing state into the warm
-  /// run instead of deep-copying every route — the fast path for chained
-  /// warm starts that discard each baseline after stepping from it.
+  /// Overload consuming the baseline: when the baseline is the sole owner
+  /// of its arena (the chained-campaign case), its routing state AND arena
+  /// are moved into the warm run — no per-route copy, no arena rebuild.
   RoutingOutcome run_warm(const OriginSpec& origin,
                           const Configuration& config,
                           const Configuration& baseline_config,
+                          RoutingOutcome&& baseline) const;
+
+  /// Fully-prepared warm start: both seed tables supplied by the caller.
+  /// Campaign chains prepare each configuration once and step through the
+  /// chain without ever rebuilding a table.
+  RoutingOutcome run_warm(const OriginSpec& origin,
+                          const Configuration& config, const Prepared& seeds,
+                          const Configuration& baseline_config,
+                          const Prepared& baseline_seeds,
                           RoutingOutcome&& baseline) const;
 
   /// A route available to an AS (used by the policy-compliance audit of
@@ -112,6 +205,13 @@ class Engine {
   std::vector<CandidateInfo> candidates(topology::AsId as_id,
                                         const OriginSpec& origin,
                                         const Configuration& config,
+                                        const RoutingOutcome& outcome) const;
+  /// As above with a prepared seed table — the audit calls this per AS and
+  /// must not re-validate the configuration every time.
+  std::vector<CandidateInfo> candidates(topology::AsId as_id,
+                                        const OriginSpec& origin,
+                                        const Configuration& config,
+                                        const Prepared& seeds,
                                         const RoutingOutcome& outcome) const;
 
   const topology::AsGraph& graph() const noexcept { return graph_; }

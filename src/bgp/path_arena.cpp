@@ -1,0 +1,120 @@
+#include "bgp/path_arena.hpp"
+
+#include <stdexcept>
+
+namespace spooftrack::bgp {
+
+namespace {
+
+std::uint64_t intern_key(topology::Asn asn, PathId parent) noexcept {
+  return (static_cast<std::uint64_t>(asn) << 32) | parent;
+}
+
+}  // namespace
+
+PathArena::PathArena() {
+  segments_[0] = std::make_unique<Node[]>(kBaseSegment);
+}
+
+PathArena::~PathArena() = default;
+
+PathId PathArena::append_node(topology::Asn asn, PathId parent) {
+  if (next_id_ == std::numeric_limits<PathId>::max()) {
+    throw std::length_error("PathArena: id space exhausted");
+  }
+  const PathId id = next_id_;
+  const std::uint32_t seg = segment_of(id);
+  if (!segments_[seg]) {
+    segments_[seg] = std::make_unique<Node[]>(std::size_t{kBaseSegment}
+                                              << seg);
+  }
+  Node& n = segments_[seg][segment_offset(id, seg)];
+  n.asn = asn;
+  n.parent = parent;
+  n.length = length(parent) + 1;
+  n.bloom = bloom(parent) | bloom_bit(asn);
+  // Publish the id only after the node is fully written (readers on other
+  // threads see the id through a synchronising handoff, never before).
+  ++next_id_;
+  return id;
+}
+
+PathId PathArena::prepend(topology::Asn asn, PathId tail) {
+  const auto [it, inserted] = intern_.try_emplace(intern_key(asn, tail), 0);
+  if (!inserted) {
+    ++hits_;
+    return it->second;
+  }
+  return it->second = append_node(asn, tail);
+}
+
+PathId PathArena::intern(std::span<const topology::Asn> path) {
+  PathId id = kEmptyPath;
+  for (std::size_t i = path.size(); i-- > 0;) {
+    id = prepend(path[i], id);
+  }
+  return id;
+}
+
+bool PathArena::contains(PathId id, topology::Asn asn) const noexcept {
+  if (!maybe_contains(id, asn)) return false;
+  for (; id != kEmptyPath; id = node(id).parent) {
+    if (node(id).asn == asn) return true;
+  }
+  return false;
+}
+
+bool PathArena::equal(PathId a, const PathArena& other,
+                      PathId b) const noexcept {
+  if (this == &other) return a == b;
+  if (length(a) != other.length(b)) return false;
+  while (a != kEmptyPath) {
+    const Node& na = node(a);
+    const Node& nb = other.node(b);
+    if (na.asn != nb.asn) return false;
+    a = na.parent;
+    b = nb.parent;
+  }
+  return true;
+}
+
+std::vector<topology::Asn> PathArena::materialize(PathId id) const {
+  std::vector<topology::Asn> out;
+  out.reserve(length(id));
+  for (; id != kEmptyPath; id = node(id).parent) {
+    out.push_back(node(id).asn);
+  }
+  return out;
+}
+
+void PathArena::adopt_prefix(const PathArena& from, std::size_t nodes) {
+  if (node_count() != 0) {
+    throw std::logic_error("PathArena::adopt_prefix on a non-empty arena");
+  }
+  intern_.reserve(nodes);
+  for (PathId id = 1; id <= nodes; ++id) {
+    const Node& n = from.node(id);
+    const PathId copy = append_node(n.asn, n.parent);
+    intern_.emplace(intern_key(n.asn, n.parent), copy);
+  }
+}
+
+PathId PathArena::migrate(const PathArena& from, PathId id,
+                          std::vector<PathId>& memo) {
+  // Walk toward the origin until a migrated suffix (or the root), then
+  // unwind, interning and memoising on the way back out.
+  std::vector<PathId> chain;
+  PathId cursor = id;
+  while (cursor != kEmptyPath && memo[cursor] == kNoMigration) {
+    chain.push_back(cursor);
+    cursor = from.node(cursor).parent;
+  }
+  PathId mapped = cursor == kEmptyPath ? kEmptyPath : memo[cursor];
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    mapped = prepend(from.node(chain[i]).asn, mapped);
+    memo[chain[i]] = mapped;
+  }
+  return mapped;
+}
+
+}  // namespace spooftrack::bgp

@@ -11,6 +11,7 @@ RoutingPolicy::RoutingPolicy(const topology::AsGraph& graph,
   for (topology::AsId id : topology::tier1_set(graph)) {
     flags_[id].is_tier1 = config.tier1_filters_poisoned;
     tier1_asns_.insert(graph.asn_of(id));
+    tier1_bloom_ |= PathArena::bloom_bit(graph.asn_of(id));
   }
   util::Rng rng{config.seed};
   for (topology::AsId id = 0; id < graph.size(); ++id) {
@@ -38,12 +39,13 @@ std::uint8_t RoutingPolicy::local_pref(
   return canonical_pref(rel_of_sender);
 }
 
-bool RoutingPolicy::accepts(topology::AsId receiver,
-                            topology::Asn receiver_asn,
-                            topology::Rel rel_of_sender,
-                            const CandidateRef& candidate) const {
+template <class PathRange>
+bool RoutingPolicy::accepts_path(topology::AsId receiver,
+                                 topology::Asn receiver_asn,
+                                 topology::Rel rel_of_sender,
+                                 topology::Asn relayed_sender_asn,
+                                 const PathRange& path) const {
   const AsPolicyFlags& f = flags_[receiver];
-  const auto& path = *candidate.learned_path;
 
   // BGP loop prevention: the mechanism poisoning relies on. ASes that
   // disabled it (interconnecting sites over the Internet) accept anyway.
@@ -61,8 +63,8 @@ bool RoutingPolicy::accepts(topology::AsId receiver,
     for (topology::Asn asn : path) {
       if (asn != receiver_asn && tier1_asns_.contains(asn)) return false;
     }
-    if (!candidate.path_includes_sender &&
-        tier1_asns_.contains(candidate.sender_asn)) {
+    if (relayed_sender_asn != 0 &&
+        tier1_asns_.contains(relayed_sender_asn)) {
       return false;
     }
   }
@@ -72,15 +74,43 @@ bool RoutingPolicy::accepts(topology::AsId receiver,
 bool RoutingPolicy::accepts(topology::AsId receiver,
                             topology::Asn receiver_asn,
                             topology::Rel rel_of_sender,
-                            const Route& candidate) const {
-  CandidateRef ref;
-  ref.sender_asn = candidate.as_path.empty() ? 0 : candidate.as_path.front();
-  ref.rel_of_sender = rel_of_sender;
-  ref.local_pref = local_pref(receiver, rel_of_sender);
-  ref.ann = candidate.ann;
-  ref.learned_path = &candidate.as_path;
-  ref.path_includes_sender = true;
-  return accepts(receiver, receiver_asn, rel_of_sender, ref);
+                            const CandidateRef& candidate) const {
+  // The hot path of candidate evaluation: both filters are membership
+  // queries over the candidate's path, so the path's Bloom signature (one
+  // load — it lives in the head node) answers the common negative case
+  // without walking the path. Positives fall back to the exact walk, so
+  // outcomes are identical to accepts_path.
+  const AsPolicyFlags& f = flags_[receiver];
+  const PathArena& arena = *candidate.arena;
+  const std::uint64_t path_bloom = arena.bloom(candidate.learned_path);
+
+  if (!f.ignores_poison &&
+      (path_bloom & PathArena::bloom_bit(receiver_asn)) != 0) {
+    for (topology::Asn asn : arena.view(candidate.learned_path)) {
+      if (asn == receiver_asn) return false;
+    }
+  }
+
+  if (f.is_tier1 && rel_of_sender == topology::Rel::kCustomer) {
+    if ((path_bloom & tier1_bloom_) != 0) {
+      for (topology::Asn asn : arena.view(candidate.learned_path)) {
+        if (asn != receiver_asn && tier1_asns_.contains(asn)) return false;
+      }
+    }
+    if (!candidate.path_includes_sender &&
+        tier1_asns_.contains(candidate.sender_asn)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RoutingPolicy::accepts(
+    topology::AsId receiver, topology::Asn receiver_asn,
+    topology::Rel rel_of_sender,
+    std::span<const topology::Asn> path_with_sender) const {
+  return accepts_path(receiver, receiver_asn, rel_of_sender, topology::Asn{0},
+                      path_with_sender);
 }
 
 bool RoutingPolicy::exports(topology::Rel learned_from,

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
+#include "bgp/path_arena.hpp"
 #include "bgp/route.hpp"
 #include "topology/as_graph.hpp"
 
@@ -43,23 +45,25 @@ struct AsPolicyFlags {
   bool peer_provider_swapped = false;
 };
 
-/// A candidate route as evaluated by a receiver, before the receiver's copy
-/// of the AS-path is materialised. `learned_path` is the path as held by
-/// the sender; when `path_includes_sender` is false the candidate path is
-/// conceptually [sender_asn] + *learned_path (the normal relayed case);
-/// when true, *learned_path already starts with the sender (origin seeds).
+/// A candidate route as evaluated by a receiver, before the receiver's own
+/// path node is interned. `learned_path` is the path as held by the sender,
+/// in `arena`; when `path_includes_sender` is false the candidate path is
+/// conceptually [sender_asn] + learned_path (the normal relayed case);
+/// when true, the learned path already starts with the sender (origin
+/// seeds). Everything is O(1) to copy — candidate evaluation allocates
+/// nothing.
 struct CandidateRef {
   topology::AsId sender = topology::kInvalidAsId;
   topology::Asn sender_asn = 0;
   topology::Rel rel_of_sender = topology::Rel::kProvider;
   std::uint8_t local_pref = kPrefProvider;
   std::uint32_t ann = kNoAnnouncement;
-  const std::vector<topology::Asn>* learned_path = nullptr;
+  const PathArena* arena = nullptr;
+  PathId learned_path = kEmptyPath;
   bool path_includes_sender = false;
 
   std::uint32_t length() const noexcept {
-    return static_cast<std::uint32_t>(learned_path->size()) +
-           (path_includes_sender ? 0u : 1u);
+    return arena->length(learned_path) + (path_includes_sender ? 0u : 1u);
   }
 };
 
@@ -92,15 +96,17 @@ class RoutingPolicy {
                           topology::Rel rel_of_sender) const noexcept;
 
   /// Import filter: would `receiver` accept this candidate from a neighbor
-  /// related to it by `rel_of_sender`?
+  /// related to it by `rel_of_sender`? Walks the candidate's arena path;
+  /// allocation-free.
   bool accepts(topology::AsId receiver, topology::Asn receiver_asn,
                topology::Rel rel_of_sender,
                const CandidateRef& candidate) const;
 
-  /// Convenience overload for a fully materialised route (used by tests);
-  /// the path must include the sender.
+  /// Convenience overload for a materialised AS-path (used by tests); the
+  /// path must include the sender as its first element.
   bool accepts(topology::AsId receiver, topology::Asn receiver_asn,
-               topology::Rel rel_of_sender, const Route& candidate) const;
+               topology::Rel rel_of_sender,
+               std::span<const topology::Asn> path_with_sender) const;
 
   /// Export filter: Gao-Rexford — customer-learned routes go to everyone;
   /// peer- and provider-learned routes go only to customers.
@@ -118,8 +124,18 @@ class RoutingPolicy {
               const CandidateRef& a, const CandidateRef& b) const;
 
  private:
+  template <class PathRange>
+  bool accepts_path(topology::AsId receiver, topology::Asn receiver_asn,
+                    topology::Rel rel_of_sender,
+                    topology::Asn relayed_sender_asn,
+                    const PathRange& path) const;
+
   std::vector<AsPolicyFlags> flags_;
   std::unordered_set<topology::Asn> tier1_asns_;
+  // OR of PathArena::bloom_bit over tier1_asns_: a path whose bloom misses
+  // this mask provably contains no tier-1 ASN, skipping the leak-filter
+  // walk in the common case.
+  std::uint64_t tier1_bloom_ = 0;
 };
 
 }  // namespace spooftrack::bgp

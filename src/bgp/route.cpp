@@ -1,7 +1,5 @@
 #include "bgp/route.hpp"
 
-#include <algorithm>
-
 namespace spooftrack::bgp {
 
 std::uint8_t canonical_pref(topology::Rel rel_of_sender) noexcept {
@@ -13,23 +11,21 @@ std::uint8_t canonical_pref(topology::Rel rel_of_sender) noexcept {
   return kPrefProvider;
 }
 
-bool Route::contains(topology::Asn asn) const noexcept {
-  return std::find(as_path.begin(), as_path.end(), asn) != as_path.end();
-}
-
-std::string Route::to_string() const {
-  if (!valid()) return "<no route>";
+std::string to_string(const Route& route, const PathArena& arena) {
+  if (!route.valid()) return "<no route>";
   std::string out = "[";
-  for (std::size_t i = 0; i < as_path.size(); ++i) {
-    if (i != 0) out += ' ';
-    out += std::to_string(as_path[i]);
+  bool first = true;
+  for (topology::Asn asn : arena.view(route.path)) {
+    if (!first) out += ' ';
+    out += std::to_string(asn);
+    first = false;
   }
   out += "] learned from ";
-  out += topology::to_string(learned_from);
+  out += topology::to_string(route.learned_from);
   out += " lp=";
-  out += std::to_string(static_cast<unsigned>(local_pref));
+  out += std::to_string(static_cast<unsigned>(route.local_pref));
   out += " (ann ";
-  out += std::to_string(ann);
+  out += std::to_string(route.ann);
   out += ")";
   return out;
 }

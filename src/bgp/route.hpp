@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "bgp/announcement.hpp"
+#include "bgp/path_arena.hpp"
 #include "topology/as_graph.hpp"
 
 namespace spooftrack::bgp {
@@ -22,29 +22,32 @@ std::uint8_t canonical_pref(topology::Rel rel_of_sender) noexcept;
 
 /// The route an AS currently uses toward the experiment prefix.
 ///
-/// `as_path` is the path exactly as received: as_path.front() is the
-/// neighbor the route was learned from and as_path.back() is the origin.
-/// Prepended and poisoned (sandwiched) ASNs inserted by the origin appear
-/// verbatim, so as_path.size() is the length BGP compares.
+/// `path` identifies the AS-path exactly as received in the outcome's
+/// PathArena (see RoutingOutcome::paths): the path's head is the neighbor
+/// the route was learned from and its back is the origin. Prepended and
+/// poisoned (sandwiched) ASNs inserted by the origin appear verbatim, so
+/// the arena length is the length BGP compares. The struct is POD — copies
+/// and comparisons never touch the heap.
 struct Route {
   std::uint32_t ann = kNoAnnouncement;  // announcement id in the configuration
+  /// AS-path id in the owning outcome's arena (kEmptyPath when invalid).
+  PathId path = kEmptyPath;
   /// Relationship of the neighbor the route was learned from; drives the
   /// valley-free export rule.
   topology::Rel learned_from = topology::Rel::kProvider;
   /// LocalPref assigned by the holder; drives best-route selection.
   std::uint8_t local_pref = kPrefProvider;
-  std::vector<topology::Asn> as_path;
 
   bool valid() const noexcept { return ann != kNoAnnouncement; }
-  std::uint32_t length() const noexcept {
-    return static_cast<std::uint32_t>(as_path.size());
-  }
-  /// True when `asn` appears anywhere in the AS-path (loop detection).
-  bool contains(topology::Asn asn) const noexcept;
 
-  std::string to_string() const;
-
+  /// Memberwise equality. Hash-consing makes `path` comparison exact for
+  /// routes sharing one arena (every engine outcome and everything warm-
+  /// started from it); across unrelated arenas use PathArena::equal or
+  /// routes_equal on the outcomes.
   friend bool operator==(const Route&, const Route&) = default;
 };
+
+/// Debug rendering of a route against the arena holding its path.
+std::string to_string(const Route& route, const PathArena& arena);
 
 }  // namespace spooftrack::bgp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -152,25 +153,32 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
         OBS_HIST("campaign.chain_length", "configs", end - begin);
         bgp::RoutingOutcome prev;
         const bgp::Configuration* prev_config = nullptr;
+        std::optional<bgp::Engine::Prepared> prev_prep;
         for (std::size_t pos = begin; pos < end; ++pos) {
           const std::size_t u = order[pos];
           const bgp::Configuration& config = configs[unique[u]];
           OBS_TIMER("campaign.config_ns");
+          // Each configuration's seed table is prepared exactly once and
+          // handed to the next step as the baseline table — chained warm
+          // runs never re-validate or rebuild one.
+          bgp::Engine::Prepared prep = engine.prepare(origin, config);
           bgp::RoutingOutcome outcome;
           if (prev_config != nullptr && prev.converged) {
             // The baseline is discarded after this step: let run_warm
-            // consume it instead of deep-copying every route.
-            outcome =
-                engine.run_warm(origin, config, *prev_config, std::move(prev));
+            // consume it (routing state AND path arena) instead of
+            // deep-copying every route.
+            outcome = engine.run_warm(origin, config, prep, *prev_config,
+                                      *prev_prep, std::move(prev));
             ++cs.warm_runs;
           } else {
-            outcome = engine.run(origin, config);
+            outcome = engine.run(origin, config, prep);
             ++cs.cold_runs;
           }
           cs.total_rounds += outcome.rounds;
           for (std::size_t idx : fanout[u]) sink(idx, outcome);
           prev = std::move(outcome);
           prev_config = &config;
+          prev_prep = std::move(prep);
         }
       },
       chains);

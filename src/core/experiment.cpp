@@ -129,7 +129,7 @@ namespace {
 /// Collapsed AS-hop distance to the origin along a route's AS-path:
 /// consecutive duplicates (prepending) collapse, and counting stops at the
 /// first origin occurrence (ignoring the poison sandwich).
-std::uint32_t collapsed_distance(const std::vector<topology::Asn>& path,
+std::uint32_t collapsed_distance(bgp::PathArena::View path,
                                  topology::Asn origin_asn) {
   std::uint32_t count = 0;
   topology::Asn prev = 0;
@@ -183,7 +183,8 @@ DeploymentResult PeeringTestbed::deploy(
     for (topology::AsId id = 0; id < as_count; ++id) {
       const bgp::Route& route = outcome.best[id];
       if (route.valid()) {
-        distances[id] = collapsed_distance(route.as_path, origin_.asn);
+        distances[id] =
+            collapsed_distance(outcome.paths->view(route.path), origin_.asn);
       }
     }
 

@@ -11,13 +11,17 @@ ComplianceStats audit_compliance(const bgp::Engine& engine,
   ComplianceStats stats;
   const auto& graph = engine.graph();
   const auto origin_id = graph.id_of(origin.asn);
+  // One seed table for the whole audit; the per-AS candidate enumeration
+  // below must not re-validate the configuration graph-size times.
+  const bgp::Engine::Prepared seeds = engine.prepare(origin, config);
 
   for (topology::AsId x = 0; x < graph.size(); ++x) {
     if (origin_id && x == *origin_id) continue;
     const bgp::Route& chosen = outcome.best[x];
     if (!chosen.valid()) continue;
 
-    const auto candidates = engine.candidates(x, origin, config, outcome);
+    const auto candidates =
+        engine.candidates(x, origin, config, seeds, outcome);
     if (candidates.empty()) continue;
     ++stats.audited;
 
@@ -39,7 +43,9 @@ ComplianceStats audit_compliance(const bgp::Engine& engine,
         shortest_in_class = std::min(shortest_in_class, cand.length);
       }
     }
-    if (chosen.length() == shortest_in_class) ++stats.both_criteria;
+    if (outcome.paths->length(chosen.path) == shortest_in_class) {
+      ++stats.both_criteria;
+    }
   }
   return stats;
 }

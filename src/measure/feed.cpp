@@ -53,10 +53,11 @@ std::vector<FeedEntry> FeedSimulator::collect(
     if (!route.valid()) continue;
     FeedEntry entry;
     entry.peer = peer;
-    entry.as_path.reserve(route.as_path.size() + 1);
+    entry.as_path.reserve(outcome.paths->length(route.path) + 1);
     entry.as_path.push_back(graph_.asn_of(peer));
-    entry.as_path.insert(entry.as_path.end(), route.as_path.begin(),
-                         route.as_path.end());
+    for (const topology::Asn asn : outcome.paths->view(route.path)) {
+      entry.as_path.push_back(asn);
+    }
     entries.push_back(std::move(entry));
   }
   OBS_COUNT("measure.feed.entries", entries.size());

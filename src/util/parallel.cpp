@@ -80,4 +80,84 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+WorkerPool::WorkerPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::drain_batch() {
+  while (!stop_batch_.load(std::memory_order_acquire)) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= task_count_) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      stop_batch_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    drain_batch();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads_.empty() || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_count_ = tasks;
+    fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    stop_batch_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    pending_workers_ = threads_.size();
+    ++generation_;  // publishes the batch to workers under the lock
+  }
+  work_cv_.notify_all();
+  // The caller is a full participant: with small batches it often finishes
+  // the whole batch before a worker even wakes.
+  drain_batch();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+    error = first_error_;
+    fn_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace spooftrack::util

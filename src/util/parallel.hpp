@@ -1,11 +1,20 @@
-// Minimal data-parallel helper. Announcement configurations are routed
-// independently, so benches parallelize propagation across a small pool of
-// worker threads. We deliberately keep this a plain blocking parallel_for:
-// deterministic output ordering, no shared mutable state in the tasks.
+// Data-parallel helpers. Announcement configurations are routed
+// independently, so benches parallelize propagation across worker threads
+// with the blocking parallel_for below. The routing engine itself uses
+// WorkerPool: the Jacobi compute phase dispatches a batch of chunk tasks to
+// persistent threads every round, and spawning threads per round would
+// dominate the work.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace spooftrack::util {
 
@@ -21,5 +30,50 @@ std::size_t default_worker_count() noexcept;
 /// worker claims new work (tasks already started still run to completion).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t workers = 0);
+
+/// A pool of persistent worker threads for repeated small batches.
+///
+/// `run(tasks, fn)` executes fn(i) for i in [0, tasks), the calling thread
+/// participating alongside the pool's threads; tasks are claimed dynamically
+/// (atomic counter), so callers needing deterministic OUTPUT must make each
+/// task index own its output slot — which thread runs it then cannot matter.
+/// run() blocks until every task of the batch finished; it is not
+/// re-entrant and the pool must be driven from one thread at a time.
+/// Exceptions propagate like parallel_for (first wins, batch still drains).
+class WorkerPool {
+ public:
+  /// Spawns `threads` persistent workers (0 is allowed: run() then executes
+  /// everything on the calling thread).
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t threads() const noexcept { return threads_.size(); }
+
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain_batch();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Batch state, guarded by mutex_ except where noted. A new batch is
+  // published by bumping generation_; workers pick it up, drain the shared
+  // atomic task counter, and check out via pending_workers_.
+  std::uint64_t generation_ = 0;
+  std::size_t task_count_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t pending_workers_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> stop_batch_{false};
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace spooftrack::util

@@ -78,7 +78,7 @@ TEST_F(EngineTest, ProvidersPreferDirectCustomerRoute) {
   const auto outcome = engine_.run(origin_, config);
   const bgp::Route& p1_route = route_of(outcome, kP1);
   EXPECT_EQ(p1_route.learned_from, topology::Rel::kCustomer);
-  EXPECT_EQ(p1_route.as_path, (std::vector<topology::Asn>{kOrigin}));
+  EXPECT_EQ(outcome.path_of(id(kP1)), (std::vector<topology::Asn>{kOrigin}));
 }
 
 TEST_F(EngineTest, WithdrawingALinkMovesItsCatchment) {
@@ -92,7 +92,7 @@ TEST_F(EngineTest, WithdrawingALinkMovesItsCatchment) {
         << "AS " << asn << " not on link 1";
   }
   // a's path climbs out of p1 via t1 and t2.
-  EXPECT_EQ(route_of(outcome, kA).as_path,
+  EXPECT_EQ(outcome.path_of(id(kA)),
             (std::vector<topology::Asn>{kP1, kT1, kT2, kP2, kOrigin}));
 }
 
@@ -107,7 +107,7 @@ TEST_F(EngineTest, LocalPrefBeatsPathLength) {
   const bgp::Route& t1_route = route_of(outcome, kT1);
   EXPECT_EQ(t1_route.learned_from, topology::Rel::kCustomer);
   EXPECT_EQ(catchment_of(outcome, config, kT1), 0u);
-  EXPECT_EQ(t1_route.length(), 6u);  // p1 + origin x5
+  EXPECT_EQ(outcome.path_length(id(kT1)), 6u);  // p1 + origin x5
 }
 
 TEST_F(EngineTest, PrependSteersEqualPrefSources) {
@@ -130,7 +130,7 @@ TEST_F(EngineTest, PrependLengthensSeedPath) {
   config.announcements.push_back({0, 4, {}});
   config.announcements.push_back({1, 0, {}, {}});
   const auto outcome = engine_.run(origin_, config);
-  EXPECT_EQ(route_of(outcome, kP1).as_path,
+  EXPECT_EQ(outcome.path_of(id(kP1)),
             (std::vector<topology::Asn>{kOrigin, kOrigin, kOrigin, kOrigin,
                                         kOrigin}));
 }
@@ -155,7 +155,7 @@ TEST_F(EngineTest, PoisoningMovesThePoisonedAs) {
   // b still reaches link 1 directly through p2.
   EXPECT_EQ(catchment_of(outcome, config, kB), 1u);
   // The poison sandwich is visible in p2's seed path.
-  EXPECT_EQ(route_of(outcome, kP2).as_path,
+  EXPECT_EQ(outcome.path_of(id(kP2)),
             (std::vector<topology::Asn>{kOrigin, kT2, kOrigin}));
 }
 
@@ -202,8 +202,9 @@ TEST_F(EngineTest, ActivityTrackingIsSemanticallyTransparent) {
     const auto fast = engine_.run(origin_, config);
     const auto slow = brute.run(origin_, config);
     for (topology::AsId as = 0; as < graph_.size(); ++as) {
-      EXPECT_EQ(fast.best[as], slow.best[as]);
-      EXPECT_EQ(fast.next_hop[as], slow.next_hop[as]);
+      // The two runs intern paths in different orders, so compare content
+      // (routes_equal), not PathIds.
+      EXPECT_TRUE(bgp::routes_equal(fast, slow, as));
     }
   }
 }
@@ -214,9 +215,12 @@ TEST_F(EngineTest, DeterministicAcrossRuns) {
   const auto second = engine_.run(origin_, config);
   EXPECT_EQ(first.best.size(), second.best.size());
   for (topology::AsId as = 0; as < graph_.size(); ++as) {
+    // Identical runs produce identical arenas, so even the PathIds match.
     EXPECT_EQ(first.best[as], second.best[as]);
     EXPECT_EQ(first.next_hop[as], second.next_hop[as]);
   }
+  EXPECT_EQ(bgp::outcome_checksum(first, bgp::ChecksumScope::kFull),
+            bgp::outcome_checksum(second, bgp::ChecksumScope::kFull));
 }
 
 TEST_F(EngineTest, ForwardingPathMatchesAsPath) {

@@ -128,5 +128,82 @@ TEST(ParallelFor, ConcurrentThrowersReportFirstErrorAndTerminate) {
       std::domain_error);
 }
 
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.threads(), 3u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossManyBatches) {
+  // The engine dispatches one batch per Jacobi round; the pool must not
+  // leak generations or wedge across hundreds of small batches.
+  WorkerPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 500; ++batch) {
+    pool.run(7, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500u * 7u);
+}
+
+TEST(WorkerPool, ZeroThreadsRunsOnCaller) {
+  WorkerPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(16);
+  pool.run(ran.size(),
+           [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(WorkerPool, ZeroTasksIsNoop) {
+  WorkerPool pool(2);
+  bool called = false;
+  pool.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(WorkerPool, CallerParticipates) {
+  // A single-task batch runs on the caller even with threads available
+  // (the serial shortcut), and larger batches never lose tasks when the
+  // caller drains alongside the pool.
+  WorkerPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.run(1, [&](std::size_t) { ran = std::this_thread::get_id(); });
+  EXPECT_EQ(ran, caller);
+}
+
+TEST(WorkerPool, PropagatesFirstException) {
+  WorkerPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.run(64,
+                        [&](std::size_t i) {
+                          if (i % 2 == 0) {
+                            throw std::runtime_error("boom " +
+                                                     std::to_string(i));
+                          }
+                          executed.fetch_add(1);
+                        }),
+               std::runtime_error);
+  // The pool survives a throwing batch and runs the next one cleanly.
+  std::atomic<std::size_t> after{0};
+  pool.run(32, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 32u);
+}
+
+TEST(WorkerPool, OrderedOutputSlotsAreDeterministic) {
+  // The engine's determinism contract: each task writes only its own slot,
+  // so the assembled output is identical for any thread count.
+  std::vector<std::uint64_t> expected(512);
+  for (std::size_t i = 0; i < expected.size(); ++i) expected[i] = i * i + 1;
+  for (std::size_t threads : {0u, 1u, 3u, 7u}) {
+    WorkerPool pool(threads);
+    std::vector<std::uint64_t> out(expected.size(), 0);
+    pool.run(out.size(), [&](std::size_t i) { out[i] = i * i + 1; });
+    EXPECT_EQ(out, expected) << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace spooftrack::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "helpers.hpp"
 
 namespace spooftrack::bgp {
@@ -53,70 +56,84 @@ TEST_F(PolicyTest, ExportRulesAreValleyFree) {
 }
 
 TEST_F(PolicyTest, LoopPreventionRejectsOwnAsn) {
-  Route route;
-  route.ann = 0;
-  route.as_path = {test::kP1, test::kT1, 47065};
+  const std::vector<topology::Asn> path{test::kP1, test::kT1, 47065};
   EXPECT_FALSE(policy_.accepts(id(test::kT1), test::kT1,
-                               topology::Rel::kCustomer, route));
-  EXPECT_TRUE(policy_.accepts(id(test::kT2), test::kT2,
-                              topology::Rel::kPeer, route));
+                               topology::Rel::kCustomer, std::span(path)));
+  EXPECT_TRUE(policy_.accepts(id(test::kT2), test::kT2, topology::Rel::kPeer,
+                              std::span(path)));
 }
 
 TEST_F(PolicyTest, IgnorePoisonFlagDisablesLoopPrevention) {
   AsPolicyFlags flags;
   flags.ignores_poison = true;
   policy_.override_flags(id(test::kT1), flags);
-  Route route;
-  route.ann = 0;
-  route.as_path = {test::kP1, test::kT1, 47065};
+  const std::vector<topology::Asn> path{test::kP1, test::kT1, 47065};
   EXPECT_TRUE(policy_.accepts(id(test::kT1), test::kT1,
-                              topology::Rel::kCustomer, route));
+                              topology::Rel::kCustomer, std::span(path)));
 }
 
 TEST_F(PolicyTest, Tier1FilterDropsPoisonedCustomerRoutes) {
   // t2 (tier-1) hears a customer route whose path contains t1 (tier-1).
-  Route route;
-  route.ann = 0;
-  route.as_path = {test::kP2, 47065, test::kT1, 47065};
+  const std::vector<topology::Asn> path{test::kP2, 47065, test::kT1, 47065};
   EXPECT_FALSE(policy_.accepts(id(test::kT2), test::kT2,
-                               topology::Rel::kCustomer, route));
+                               topology::Rel::kCustomer, std::span(path)));
   // The same path from a peer is fine (only customer announcements are
   // suspicious).
-  EXPECT_TRUE(policy_.accepts(id(test::kT2), test::kT2,
-                              topology::Rel::kPeer, route));
+  EXPECT_TRUE(policy_.accepts(id(test::kT2), test::kT2, topology::Rel::kPeer,
+                              std::span(path)));
   // Non-tier-1 receivers do not filter (receiver must not be in the path,
   // or loop prevention fires first).
   EXPECT_TRUE(policy_.accepts(id(test::kB), test::kB,
-                              topology::Rel::kCustomer, route));
+                              topology::Rel::kCustomer, std::span(path)));
 }
 
 TEST_F(PolicyTest, Tier1FilterCanBeDisabledGlobally) {
   auto config = test::clean_policy_config();
   config.tier1_filters_poisoned = false;
   RoutingPolicy lenient(graph_, config);
-  Route route;
-  route.ann = 0;
-  route.as_path = {test::kP2, 47065, test::kT1, 47065};
+  const std::vector<topology::Asn> path{test::kP2, 47065, test::kT1, 47065};
   EXPECT_TRUE(lenient.accepts(id(test::kT2), test::kT2,
-                              topology::Rel::kCustomer, route));
+                              topology::Rel::kCustomer, std::span(path)));
+}
+
+TEST_F(PolicyTest, CandidateRefAcceptChecksRelayedSender) {
+  // A tier-1 hearing a customer candidate relayed BY another tier-1 must
+  // reject it even though the tier-1 ASN is not yet in the learned path.
+  PathArena arena;
+  CandidateRef cand;
+  cand.sender_asn = test::kT1;
+  cand.rel_of_sender = topology::Rel::kCustomer;
+  cand.ann = 0;
+  cand.arena = &arena;
+  cand.learned_path = arena.intern(std::vector<topology::Asn>{47065});
+  cand.path_includes_sender = false;
+  EXPECT_FALSE(policy_.accepts(id(test::kT2), test::kT2,
+                               topology::Rel::kCustomer, cand));
+  // Same candidate relayed by a non-tier-1 passes.
+  cand.sender_asn = test::kP2;
+  EXPECT_TRUE(policy_.accepts(id(test::kT2), test::kT2,
+                              topology::Rel::kCustomer, cand));
 }
 
 TEST_F(PolicyTest, BetterPrefersLocalPrefThenLength) {
   const auto receiver = id(test::kD);
-  std::vector<topology::Asn> short_path{test::kP1, 47065};
-  std::vector<topology::Asn> long_path{test::kP2, test::kT2, test::kT1,
-                                       47065};
+  PathArena arena;
+  const std::vector<topology::Asn> short_vec{test::kP1, 47065};
+  const std::vector<topology::Asn> long_vec{test::kP2, test::kT2, test::kT1,
+                                            47065};
 
   CandidateRef customer_long;
   customer_long.sender_asn = test::kP2;
   customer_long.local_pref = kPrefCustomer;
-  customer_long.learned_path = &long_path;
+  customer_long.arena = &arena;
+  customer_long.learned_path = arena.intern(long_vec);
   customer_long.path_includes_sender = true;
 
   CandidateRef provider_short;
   provider_short.sender_asn = test::kP1;
   provider_short.local_pref = kPrefProvider;
-  provider_short.learned_path = &short_path;
+  provider_short.arena = &arena;
+  provider_short.learned_path = arena.intern(short_vec);
   provider_short.path_includes_sender = true;
 
   EXPECT_TRUE(policy_.better(receiver, test::kD, customer_long,

@@ -119,16 +119,16 @@ bgp::Configuration random_config(util::Rng& rng) {
 
 /// Counts ASes whose (best route, next hop) differ between two outcomes.
 /// Route equality includes the announcement id, AS-path, local-pref and
-/// learned-from relationship.
+/// learned-from relationship — compared by content via routes_equal, since
+/// the outcomes come from different propagations and hence different
+/// arenas.
 std::size_t mismatch_count(const bgp::RoutingOutcome& a,
                            const bgp::RoutingOutcome& b) {
   EXPECT_EQ(a.best.size(), b.best.size());
   EXPECT_EQ(a.next_hop.size(), b.next_hop.size());
   std::size_t mismatches = 0;
   for (topology::AsId as = 0; as < a.best.size(); ++as) {
-    if (!(a.best[as] == b.best[as]) || a.next_hop[as] != b.next_hop[as]) {
-      ++mismatches;
-    }
+    if (!bgp::routes_equal(a, b, as)) ++mismatches;
   }
   return mismatches;
 }
