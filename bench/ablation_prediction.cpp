@@ -72,9 +72,10 @@ int main(int argc, char** argv) {
 
   // --- 2. Prediction-assisted scheduling ------------------------------------
   // Predicted matrix for every configuration, from location-phase training.
-  measure::CatchmentMatrix predicted(dep.matrix.size());
+  measure::CatchmentStore predicted;
   for (std::size_t i = 0; i < dep.matrix.size(); ++i) {
-    predicted[i] = predictor.predict_row(descriptors[i]);
+    const auto row = predictor.predict_row(descriptors[i]);
+    predicted.append_row(std::span<const bgp::LinkId>(row));
   }
 
   const std::size_t horizon = options.greedy_steps;

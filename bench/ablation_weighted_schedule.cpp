@@ -20,18 +20,18 @@
 
 namespace {
 
-using spooftrack::measure::CatchmentMatrix;
+using spooftrack::measure::CatchmentStore;
 
 /// Weighted objective of a deployment order, step by step.
 std::vector<double> weighted_trajectory(
-    const CatchmentMatrix& matrix, const std::vector<std::size_t>& order,
+    const CatchmentStore& matrix, const std::vector<std::size_t>& order,
     const std::vector<double>& volume, std::size_t steps) {
-  spooftrack::core::ClusterTracker tracker(matrix[0].size());
+  spooftrack::core::ClusterTracker tracker(matrix.sources());
   double total = 0.0;
   for (double v : volume) total += v;
   std::vector<double> out;
   for (std::size_t k = 0; k < steps && k < order.size(); ++k) {
-    tracker.refine(matrix[order[k]]);
+    tracker.refine(matrix.row(order[k]));
     const auto sizes = tracker.current().sizes();
     double objective = 0.0;
     for (std::size_t s = 0; s < volume.size(); ++s) {
@@ -44,7 +44,7 @@ std::vector<double> weighted_trajectory(
 }
 
 /// Mean cluster size of the `top` heaviest sources after `k` steps.
-double heavy_cluster_size(const CatchmentMatrix& matrix,
+double heavy_cluster_size(const CatchmentStore& matrix,
                           const std::vector<std::size_t>& order,
                           const std::vector<double>& volume, std::size_t top,
                           std::size_t k) {
@@ -56,9 +56,9 @@ double heavy_cluster_size(const CatchmentMatrix& matrix,
                     });
   heavy.resize(top);
 
-  spooftrack::core::ClusterTracker tracker(matrix[0].size());
+  spooftrack::core::ClusterTracker tracker(matrix.sources());
   for (std::size_t step = 0; step < k && step < order.size(); ++step) {
-    tracker.refine(matrix[order[step]]);
+    tracker.refine(matrix.row(order[step]));
   }
   const auto sizes = tracker.current().sizes();
   double total = 0.0;

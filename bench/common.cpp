@@ -4,6 +4,9 @@
 #include <cmath>
 #include <filesystem>
 #include <iostream>
+#include <thread>
+
+#include "util/parallel.hpp"
 
 #include "core/config_gen.hpp"
 #include "core/io.hpp"
@@ -23,7 +26,7 @@ const obs::Stopwatch process_watch;
             << "flags: --seed=N --tier1=N --transit=N --stubs=N --probes=N\n"
             << "       --rounds=N --sequences=N --placements=N\n"
             << "       --greedy-steps=N --ground-truth --cache-dir=PATH\n"
-            << "       --no-cache --obs-report=PATH\n";
+            << "       --no-cache --obs-report=PATH --quick\n";
   std::exit(2);
 }
 
@@ -65,15 +68,24 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     else if (key == "--cache-dir") options.cache_dir = value;
     else if (key == "--no-cache") options.no_cache = true;
     else if (key == "--obs-report") options.obs_report = value;
+    else if (key == "--quick") options.quick = true;
     else usage_and_exit(argv[i]);
   }
   return options;
 }
 
-int finish(const BenchOptions& options, std::string_view bench_name) {
+int finish(const BenchOptions& options, std::string_view bench_name,
+           const std::function<void(obs::RunReport&)>& decorate) {
   if (options.obs_report.empty()) return 0;
   obs::RunReport report = obs::RunReport::capture(bench_name);
   report.value("wall_ms", process_watch.elapsed_ms());
+  // Machine context: every report says what it ran on, so single-core or
+  // oversubscribed numbers need no hand-written explanation.
+  report.value("hardware_concurrency",
+               static_cast<double>(std::thread::hardware_concurrency()));
+  report.value("workers",
+               static_cast<double>(util::default_worker_count()));
+  if (decorate) decorate(report);
   try {
     report.save_json_file(options.obs_report);
     std::cerr << "[bench] wrote obs report to " << options.obs_report << "\n";
@@ -205,14 +217,14 @@ StandardDeployment run_standard(const BenchOptions& options) {
   return from_artifact(artifact);
 }
 
-std::vector<double> trajectory(const measure::CatchmentMatrix& matrix,
+std::vector<double> trajectory(const measure::CatchmentStore& matrix,
                                const std::vector<std::size_t>& rows) {
   std::vector<double> means;
   if (matrix.empty()) return means;
-  core::ClusterTracker tracker(matrix[0].size());
+  core::ClusterTracker tracker(matrix.sources());
   means.reserve(rows.size());
   for (std::size_t row : rows) {
-    tracker.refine(matrix[row]);
+    tracker.refine(matrix.row(row));
     means.push_back(tracker.mean_cluster_size());
   }
   return means;

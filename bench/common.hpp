@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,7 +17,7 @@
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "core/policy_audit.hpp"
-#include "measure/visibility.hpp"
+#include "measure/catchment_store.hpp"
 #include "obs/report.hpp"
 
 namespace spooftrack::bench {
@@ -35,6 +36,7 @@ struct BenchOptions {
   std::string cache_dir = "bench_cache";
   bool no_cache = false;
   std::string obs_report;  // --obs-report=PATH: write a JSON RunReport here
+  bool quick = false;      // --quick: smoke-test sizes, single worker
 
   /// Parses --key=value flags; exits with usage on unknown flags.
   static BenchOptions parse(int argc, char** argv);
@@ -44,9 +46,14 @@ struct BenchOptions {
 
 /// Standard bench epilogue: when --obs-report was given, captures the
 /// merged obs registry plus process wall time into a RunReport named
-/// `bench_name` and writes it as JSON. Returns the process exit code, so
-/// benches end with `return bench::finish(options, "fig3_location");`
-int finish(const BenchOptions& options, std::string_view bench_name);
+/// `bench_name` and writes it as JSON. Every report also records the
+/// machine context (`hardware_concurrency`, the resolved `workers` count)
+/// so single-core numbers explain themselves. `decorate`, when given, runs
+/// on the report before it is written — benches add their own labels and
+/// values there instead of hand-rolling reports. Returns the process exit
+/// code, so benches end with `return bench::finish(options, "fig3");`
+int finish(const BenchOptions& options, std::string_view bench_name,
+           const std::function<void(obs::RunReport&)>& decorate = {});
 
 enum class Phase : std::uint8_t { kLocation = 0, kPrepend = 1, kPoison = 2 };
 
@@ -63,7 +70,7 @@ struct StandardDeployment {
   std::size_t location_end = 0;  // index one past the location phase (64)
   std::size_t prepend_end = 0;   // index one past the prepending phase (358)
 
-  measure::CatchmentMatrix matrix;            // rows = configs, cols = sources
+  measure::CatchmentStore matrix;             // rows = configs, cols = sources
   std::vector<std::uint32_t> source_distance; // min AS-hops per source
   std::vector<core::ComplianceStats> compliance;  // per config
   double mean_multi_catchment = 0.0;
@@ -71,9 +78,7 @@ struct StandardDeployment {
   std::size_t as_count = 0;
   std::size_t link_count = 7;
 
-  std::size_t source_count() const {
-    return matrix.empty() ? 0 : matrix[0].size();
-  }
+  std::size_t source_count() const { return matrix.sources(); }
 };
 
 /// Runs (or loads from cache) the standard deployment for the options.
@@ -81,7 +86,7 @@ StandardDeployment run_standard(const BenchOptions& options);
 
 /// Mean-cluster-size trajectory over a row subset of the matrix, refined in
 /// the given order.
-std::vector<double> trajectory(const measure::CatchmentMatrix& matrix,
+std::vector<double> trajectory(const measure::CatchmentStore& matrix,
                                const std::vector<std::size_t>& rows);
 
 /// Log-spaced sample indices over [1, n] (inclusive), always containing 1,

@@ -34,11 +34,10 @@ std::vector<std::size_t> subset_rows(const std::vector<ConfigMeta>& configs,
 }
 
 std::vector<std::uint32_t> final_sizes(
-    const spooftrack::measure::CatchmentMatrix& matrix,
+    const spooftrack::measure::CatchmentStore& matrix,
     const std::vector<std::size_t>& rows) {
-  spooftrack::core::ClusterTracker tracker(matrix.empty() ? 0
-                                                          : matrix[0].size());
-  for (std::size_t row : rows) tracker.refine(matrix[row]);
+  spooftrack::core::ClusterTracker tracker(matrix.sources());
+  for (std::size_t row : rows) tracker.refine(matrix.row(row));
   return tracker.current().sizes();
 }
 

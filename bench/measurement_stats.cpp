@@ -31,12 +31,10 @@ int main(int argc, char** argv) {
 
   // Visibility: how many matrix cells needed s_max imputation or stayed
   // unresolved after it.
-  std::size_t missing = 0, cells = 0;
-  for (const auto& row : dep.matrix) {
-    for (bgp::LinkId link : row) {
-      ++cells;
-      missing += link == bgp::kNoCatchment;
-    }
+  std::size_t missing = 0;
+  const std::size_t cells = dep.matrix.size_bytes();
+  for (const auto row : dep.matrix) {
+    for (std::uint8_t cell : row) missing += cell == bgp::kNoCatchment8;
   }
   util::print_banner(std::cout, "Visibility (SIV-d)");
   util::Table vis({"statistic", "value"});

@@ -1,0 +1,365 @@
+// Analysis-pipeline throughput: the columnar CatchmentStore acceptance
+// bench. For each matrix size it generates a deterministic synthetic
+// catchment matrix (hidden source groups plus measurement noise, so
+// clusters split gradually instead of saturating on the first row) and
+// measures, best-of-N:
+//
+//   * store build from legacy nested-vector rows,
+//   * cluster refinement: legacy u32 nested-vector reference vs
+//     ClusterTracker on encoded u8 rows,
+//   * greedy scheduling: legacy serial reference vs core::greedy_schedule
+//     single-threaded (the speedup_serial acceptance number), plus a
+//     worker sweep,
+//   * online cluster attribution on the store.
+//
+// The legacy references reimplement the pre-columnar algorithms faithfully
+// (same epoch-stamped bucket tables, same first-touch dense ids, same
+// lowest-index-max tie break) over std::vector<std::vector<bgp::LinkId>>,
+// without the u8 layout or the singleton word-skip — so every speedup is
+// attributable to the store, and equivalence can be asserted bit-for-bit:
+// cluster ids, greedy orders, and parallel-vs-serial orders must all match
+// or the bench exits non-zero.
+//
+// Usage: perf_analysis [--seed=N] [--obs-report=PATH] [--quick]
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/catchment.hpp"
+#include "common.hpp"
+#include "core/attribution.hpp"
+#include "core/cluster.hpp"
+#include "core/cluster_slots.hpp"
+#include "core/scheduler.hpp"
+#include "measure/catchment_store.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spooftrack;
+
+constexpr std::uint32_t kLinkCount = 7;
+
+struct Size {
+  const char* name;
+  std::size_t configs, sources, steps;
+  std::uint32_t repeats;
+};
+
+constexpr Size kSizes[] = {
+    {"small", 100, 500, 40, 7},
+    {"medium", 300, 1500, 60, 5},
+    {"large", 705, 3000, 60, 3},
+};
+constexpr Size kQuickSizes[] = {{"quick", 20, 100, 10, 1}};
+
+constexpr std::uint32_t kWorkerCounts[] = {1, 2, 4, 8};
+constexpr std::uint32_t kQuickWorkerCounts[] = {1};
+
+// Deterministic synthetic matrix in the legacy nested-vector shape. Sources
+// belong to hidden groups sharing a per-config prototype catchment; a small
+// flip/missing noise rate makes refinement split clusters gradually, the
+// regime the greedy scheduler actually runs in.
+measure::CatchmentMatrix synth_matrix(const Size& size, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xA11A);
+  const std::size_t groups = std::max<std::size_t>(8, size.sources / 6);
+  std::vector<std::size_t> group_of(size.sources);
+  for (auto& g : group_of) g = rng.next_below(groups);
+
+  measure::CatchmentMatrix matrix(size.configs);
+  std::vector<bgp::LinkId> prototype(groups);
+  for (auto& row : matrix) {
+    for (auto& p : prototype) {
+      p = static_cast<bgp::LinkId>(rng.next_below(kLinkCount));
+    }
+    row.resize(size.sources);
+    for (std::size_t s = 0; s < size.sources; ++s) {
+      if (rng.chance(0.02)) {
+        row[s] = bgp::kNoCatchment;
+      } else if (rng.chance(0.02)) {
+        row[s] = static_cast<bgp::LinkId>(rng.next_below(kLinkCount));
+      } else {
+        row[s] = prototype[group_of[s]];
+      }
+    }
+  }
+  return matrix;
+}
+
+// --- Legacy reference implementations (pre-columnar algorithms) -----------
+
+std::size_t legacy_slot(bgp::LinkId link) {
+  return link == bgp::kNoCatchment ? core::kMissingSlot
+                                   : static_cast<std::size_t>(link);
+}
+
+/// The pre-refactor incremental refinement: epoch-stamped
+/// (cluster, catchment) buckets over u32 rows, first-touch dense ids, no
+/// singleton fast path.
+class LegacyTracker {
+ public:
+  explicit LegacyTracker(std::size_t sources)
+      : cluster_of_(sources, 0),
+        cluster_count_(sources == 0 ? 0 : 1),
+        keys_(std::max<std::size_t>(1, sources) * core::kSlots, 0),
+        order_(keys_.size(), 0) {}
+
+  std::uint32_t refine(const std::vector<bgp::LinkId>& row) {
+    ++epoch_;
+    std::uint32_t next_id = 0;
+    for (std::size_t s = 0; s < cluster_of_.size(); ++s) {
+      const std::size_t key =
+          static_cast<std::size_t>(cluster_of_[s]) * core::kSlots +
+          legacy_slot(row[s]);
+      if (keys_[key] != epoch_) {
+        keys_[key] = epoch_;
+        order_[key] = next_id++;
+      }
+      cluster_of_[s] = order_[key];
+    }
+    cluster_count_ = next_id;
+    return next_id;
+  }
+
+  /// Clusters after hypothetically refining with `row`; no state change.
+  std::uint32_t count_after(const std::vector<bgp::LinkId>& row) {
+    ++epoch_;
+    std::uint32_t count = 0;
+    for (std::size_t s = 0; s < cluster_of_.size(); ++s) {
+      const std::size_t key =
+          static_cast<std::size_t>(cluster_of_[s]) * core::kSlots +
+          legacy_slot(row[s]);
+      if (keys_[key] != epoch_) {
+        keys_[key] = epoch_;
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  const std::vector<std::uint32_t>& cluster_of() const { return cluster_of_; }
+  std::uint32_t cluster_count() const { return cluster_count_; }
+
+ private:
+  std::vector<std::uint32_t> cluster_of_;
+  std::uint32_t cluster_count_ = 0;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> order_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// The pre-refactor serial greedy schedule: scan every remaining
+/// configuration, pick the one maximising the refined cluster count
+/// (minimum mean cluster size), lowest index on ties.
+std::vector<std::size_t> legacy_greedy(const measure::CatchmentMatrix& matrix,
+                                       std::size_t steps) {
+  const std::size_t sources = matrix.empty() ? 0 : matrix.front().size();
+  LegacyTracker tracker(sources);
+  std::vector<bool> used(matrix.size(), false);
+  std::vector<std::size_t> order;
+  const std::size_t horizon =
+      steps == 0 ? matrix.size() : std::min(steps, matrix.size());
+  order.reserve(horizon);
+  for (std::size_t k = 0; k < horizon; ++k) {
+    std::size_t best = matrix.size();
+    std::uint32_t best_count = 0;
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      if (used[i]) continue;
+      const std::uint32_t count = tracker.count_after(matrix[i]);
+      if (best == matrix.size() || count > best_count) {
+        best = i;
+        best_count = count;
+      }
+    }
+    if (best == matrix.size()) break;
+    used[best] = true;
+    tracker.refine(matrix[best]);
+    order.push_back(best);
+  }
+  return order;
+}
+
+// --------------------------------------------------------------------------
+
+template <typename Fn>
+double best_of(std::uint32_t repeats, Fn&& fn) {
+  double best_ms = 0.0;
+  for (std::uint32_t rep = 0; rep < repeats; ++rep) {
+    const obs::Stopwatch watch;
+    fn();
+    const double ms = watch.elapsed_ms();
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+/// Per-config per-link spoofed volumes for the attribution stage: Pareto
+/// source volumes accumulated onto each configuration's catchment links.
+std::vector<std::vector<double>> synth_volumes(
+    const measure::CatchmentStore& matrix, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xB01);
+  std::vector<double> volume(matrix.sources());
+  for (auto& v : volume) v = rng.pareto(1.2);
+  std::vector<std::vector<double>> per_config(
+      matrix.configs(), std::vector<double>(kLinkCount, 0.0));
+  for (std::size_t c = 0; c < matrix.configs(); ++c) {
+    const auto row = matrix.row(c);
+    for (std::size_t s = 0; s < matrix.sources(); ++s) {
+      if (row[s] != bgp::kNoCatchment8 && row[s] < kLinkCount) {
+        per_config[c][row[s]] += volume[s];
+      }
+    }
+  }
+  return per_config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+
+  const std::span<const Size> sizes =
+      options.quick ? std::span<const Size>(kQuickSizes)
+                    : std::span<const Size>(kSizes);
+  const std::span<const std::uint32_t> worker_counts =
+      options.quick ? std::span<const std::uint32_t>(kQuickWorkerCounts)
+                    : std::span<const std::uint32_t>(kWorkerCounts);
+
+  std::cout << "{\n  \"bench\": \"perf_analysis\",\n"
+            << "  \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency() << ",\n  \"sizes\": [\n";
+
+  bool equivalent = true;
+  double speedup_serial_last = 0.0;
+  bool first_size = true;
+  for (const Size& size : sizes) {
+    const auto legacy_matrix = synth_matrix(size, options.seed);
+
+    // Store build (legacy interchange -> columnar).
+    measure::CatchmentStore matrix;
+    const double build_ms = best_of(size.repeats, [&] {
+      matrix = measure::CatchmentStore(legacy_matrix);
+    });
+    OBS_GAUGE("analysis.matrix_bytes", matrix.size_bytes());
+
+    // Refinement: legacy u32 reference vs ClusterTracker on u8 rows.
+    LegacyTracker legacy_tracker(size.sources);
+    const double legacy_refine_ms = best_of(size.repeats, [&] {
+      legacy_tracker = LegacyTracker(size.sources);
+      for (const auto& row : legacy_matrix) legacy_tracker.refine(row);
+    });
+    core::Clustering clustering;
+    const double store_refine_ms = best_of(size.repeats, [&] {
+      clustering = core::cluster_sources(matrix);
+    });
+    if (clustering.cluster_of != legacy_tracker.cluster_of() ||
+        clustering.cluster_count != legacy_tracker.cluster_count()) {
+      equivalent = false;
+      std::cerr << "FAIL[" << size.name
+                << "]: store clustering diverges from legacy reference\n";
+    }
+
+    // Greedy scheduling: legacy serial reference vs store, then the worker
+    // sweep (all orders must be bit-identical).
+    std::vector<std::size_t> legacy_order;
+    const double legacy_greedy_ms = best_of(size.repeats, [&] {
+      legacy_order = legacy_greedy(legacy_matrix, size.steps);
+    });
+
+    double serial_ms = 0.0;
+    std::vector<std::size_t> serial_order;
+    std::vector<std::pair<std::uint32_t, double>> worker_ms;
+    for (std::uint32_t workers : worker_counts) {
+      core::ScheduleTrace trace;
+      const double ms = best_of(size.repeats, [&] {
+        trace = core::greedy_schedule(matrix, size.steps, workers);
+      });
+      worker_ms.emplace_back(workers, ms);
+      if (workers == 1) {
+        serial_ms = ms;
+        serial_order = trace.order;
+        if (trace.order != legacy_order) {
+          equivalent = false;
+          std::cerr << "FAIL[" << size.name
+                    << "]: store greedy order diverges from legacy\n";
+        }
+      } else if (trace.order != serial_order) {
+        equivalent = false;
+        std::cerr << "FAIL[" << size.name << "]: greedy order at "
+                  << workers << " workers diverges from serial\n";
+      }
+    }
+    const double speedup_serial =
+        serial_ms > 0.0 ? legacy_greedy_ms / serial_ms : 0.0;
+    speedup_serial_last = speedup_serial;
+
+    // Attribution on the store (timed; equivalence with the legacy path is
+    // covered bit-for-bit by tests/test_catchment_store.cpp).
+    const auto volumes = synth_volumes(matrix, options.seed);
+    core::AttributionResult attribution;
+    const double attribution_ms = best_of(size.repeats, [&] {
+      attribution = core::attribute_clusters(matrix, clustering, volumes);
+    });
+    if (attribution.ranking.size() != clustering.cluster_count) {
+      equivalent = false;
+      std::cerr << "FAIL[" << size.name << "]: attribution ranking size\n";
+    }
+
+    if (!first_size) std::cout << ",\n";
+    first_size = false;
+    std::cout << "    {\"name\": \"" << size.name
+              << "\", \"configs\": " << size.configs
+              << ", \"sources\": " << size.sources
+              << ", \"steps\": " << size.steps
+              << ", \"matrix_bytes\": " << matrix.size_bytes()
+              << ",\n     \"build_ms\": " << util::fmt_double(build_ms, 3)
+              << ", \"legacy_refine_ms\": "
+              << util::fmt_double(legacy_refine_ms, 3)
+              << ", \"store_refine_ms\": "
+              << util::fmt_double(store_refine_ms, 3)
+              << ", \"refine_speedup\": "
+              << util::fmt_double(
+                     store_refine_ms > 0.0 ? legacy_refine_ms / store_refine_ms
+                                           : 0.0,
+                     2)
+              << ",\n     \"legacy_greedy_ms\": "
+              << util::fmt_double(legacy_greedy_ms, 2)
+              << ", \"store_greedy_ms\": " << util::fmt_double(serial_ms, 2)
+              << ", \"speedup_serial\": "
+              << util::fmt_double(speedup_serial, 2)
+              << ", \"attribution_ms\": "
+              << util::fmt_double(attribution_ms, 3)
+              << ",\n     \"workers\": {";
+    bool first_cell = true;
+    for (const auto& [workers, ms] : worker_ms) {
+      if (!first_cell) std::cout << ", ";
+      first_cell = false;
+      std::cout << "\"" << workers << "\": {\"ms\": "
+                << util::fmt_double(ms, 2) << ", \"speedup\": "
+                << util::fmt_double(ms > 0.0 ? serial_ms / ms : 0.0, 2)
+                << "}";
+    }
+    std::cout << "}}";
+  }
+  std::cout << "\n  ],\n  \"equivalent\": " << (equivalent ? "true" : "false")
+            << ",\n  \"speedup_serial\": "
+            << util::fmt_double(speedup_serial_last, 2) << "\n}\n";
+
+  const int report_rc =
+      bench::finish(options, "perf_analysis", [&](obs::RunReport& report) {
+        report.label("equivalent", equivalent ? "true" : "false")
+            .value("speedup_serial", speedup_serial_last);
+      });
+
+  if (!equivalent) {
+    std::cerr << "FAIL: columnar analysis diverges from legacy reference\n";
+    return 1;
+  }
+  return report_rc;
+}

@@ -40,7 +40,8 @@ double run_timed(const core::PeeringTestbed& testbed,
   const obs::Stopwatch watch;
   const core::CampaignRunStats run_stats = core::propagate_campaign(
       testbed.engine(), testbed.origin(), plan,
-      [&digests](std::size_t i, const bgp::RoutingOutcome& outcome) {
+      [&digests](std::size_t, std::size_t i,
+                 const bgp::RoutingOutcome& outcome) {
         digests[i] =
             bgp::outcome_checksum(outcome, bgp::ChecksumScope::kRoutes);
       },

@@ -9,10 +9,13 @@
 // rather than speedup; hardware_concurrency is reported alongside so the
 // numbers read honestly.
 //
-// Usage: perf_engine [--seed=N] [--obs-report=PATH]
+// Usage: perf_engine [--seed=N] [--obs-report=PATH] [--quick]
+// --quick shrinks to one tiny size, one repeat, one worker — a CI smoke
+// run that checks the bench and its report stay wired, not a measurement.
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,8 +45,10 @@ constexpr Size kSizes[] = {
     {"medium", 8, 120, 900, 12},
     {"large", 8, 150, 2500, 4},
 };
+constexpr Size kQuickSizes[] = {{"quick", 2, 8, 40, 1}};
 
 constexpr std::uint32_t kWorkerCounts[] = {1, 2, 4, 8};
+constexpr std::uint32_t kQuickWorkerCounts[] = {1};
 
 topology::SynthTopology make_topo(std::uint64_t seed, const Size& size) {
   topology::SynthConfig synth;
@@ -97,9 +102,16 @@ int main(int argc, char** argv) {
             << "  \"hardware_concurrency\": "
             << std::thread::hardware_concurrency() << ",\n  \"sizes\": [\n";
 
+  const std::span<const Size> sizes =
+      options.quick ? std::span<const Size>(kQuickSizes)
+                    : std::span<const Size>(kSizes);
+  const std::span<const std::uint32_t> worker_counts =
+      options.quick ? std::span<const std::uint32_t>(kQuickWorkerCounts)
+                    : std::span<const std::uint32_t>(kWorkerCounts);
+
   bool equivalent = true;
   bool first_size = true;
-  for (const Size& size : kSizes) {
+  for (const Size& size : sizes) {
     const auto topo = make_topo(options.seed, size);
     const bgp::RoutingPolicy policy(topo.graph, bgp::PolicyConfig{});
 
@@ -111,7 +123,7 @@ int main(int argc, char** argv) {
 
     bool first_cell = true;
     double serial_ms = 0.0;
-    for (std::uint32_t workers : kWorkerCounts) {
+    for (std::uint32_t workers : worker_counts) {
       bgp::EngineOptions engine_options;
       engine_options.workers = workers;
       const bgp::Engine engine(topo.graph, policy, engine_options);
@@ -150,19 +162,14 @@ int main(int argc, char** argv) {
   std::cout << "\n  ],\n  \"equivalent\": " << (equivalent ? "true" : "false")
             << "\n}\n";
 
-  if (!options.obs_report.empty()) {
-    obs::RunReport report = obs::RunReport::capture("perf_engine");
-    report
-        .value("hardware_concurrency",
-               static_cast<double>(std::thread::hardware_concurrency()))
-        .label("equivalent", equivalent ? "true" : "false");
-    report.save_json_file(options.obs_report);
-    std::cerr << "[bench] wrote obs report to " << options.obs_report << "\n";
-  }
+  const int report_rc =
+      bench::finish(options, "perf_engine", [&](obs::RunReport& report) {
+        report.label("equivalent", equivalent ? "true" : "false");
+      });
 
   if (!equivalent) {
     std::cerr << "FAIL: parallel outcomes diverge from serial\n";
     return 1;
   }
-  return 0;
+  return report_rc;
 }

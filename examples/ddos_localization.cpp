@@ -63,7 +63,7 @@ int main() {
   std::cout << "replaying the attack under the " << schedule.order.size()
             << " greedy-scheduled configurations...\n";
 
-  measure::CatchmentMatrix deployed_rows;
+  measure::CatchmentStore deployed_rows;
   traffic::HoneypotOptions pot_options;
   pot_options.attack_min_packets = 50;
   std::uint64_t suppressed = 0;
@@ -87,7 +87,7 @@ int main() {
     }
     suppressed += pot.responses_suppressed();
     observed.push_back(pot.volume_by_link());
-    deployed_rows.push_back(deployment.matrix[step]);
+    deployed_rows.append_row(deployment.matrix.row(step));
   }
   std::cout << "  honeypot rate limiter suppressed " << suppressed
             << " reflected responses across the replay\n";

@@ -18,6 +18,14 @@ std::vector<topology::AsId> CatchmentMap::members(LinkId link) const {
   return out;
 }
 
+std::vector<std::size_t> CatchmentMap::counts(std::size_t link_count) const {
+  std::vector<std::size_t> out(link_count, 0);
+  for (LinkId l : link_of) {
+    if (l < link_count) ++out[l];
+  }
+  return out;
+}
+
 std::size_t CatchmentMap::routed_count() const noexcept {
   std::size_t n = 0;
   for (LinkId l : link_of) {

@@ -13,6 +13,16 @@ namespace spooftrack::bgp {
 
 inline constexpr LinkId kNoCatchment = std::numeric_limits<LinkId>::max();
 
+/// Byte-wide missing sentinel used by the columnar catchment store and the
+/// artifact serialization format.
+inline constexpr std::uint8_t kNoCatchment8 = 0xFF;
+
+/// Maximum number of distinct peering links the analysis pipeline tracks.
+/// The cluster refinement folds catchment values into 6-bit slots (64, one
+/// reserved for "missing"), and the columnar store encodes cells in one
+/// byte; link ids must stay below this bound or encoding raises.
+inline constexpr std::uint32_t kMaxCatchmentLinks = 62;
+
 /// Catchment membership for one configuration.
 struct CatchmentMap {
   /// Per AsId: the peering link whose catchment the AS belongs to, or
@@ -26,6 +36,10 @@ struct CatchmentMap {
   std::size_t count(LinkId link) const noexcept;
   /// AsIds routed to `link`.
   std::vector<topology::AsId> members(LinkId link) const;
+  /// One-pass per-link totals: element l is the number of ASes routed to
+  /// link l. Links >= link_count are ignored (missing cells always are).
+  /// Replaces links x count(link) scan loops, which are O(links * N).
+  std::vector<std::size_t> counts(std::size_t link_count) const;
   /// Number of ASes with any catchment.
   std::size_t routed_count() const noexcept;
 };

@@ -44,7 +44,7 @@ TrafficBySize traffic_by_cluster_size(const Clustering& clustering,
 }
 
 AttributionResult attribute_clusters(
-    const measure::CatchmentMatrix& matrix, const Clustering& clustering,
+    const measure::CatchmentStore& matrix, const Clustering& clustering,
     const std::vector<std::vector<double>>& link_volume_per_config) {
   if (matrix.size() != link_volume_per_config.size()) {
     throw std::invalid_argument(
@@ -67,12 +67,13 @@ AttributionResult attribute_clusters(
   constexpr double kEpsilon = 1e-6;
   for (std::uint32_t c = 0; c < clustering.cluster_count; ++c) {
     const std::uint32_t rep = representative[c];
+    const auto trajectory = matrix.column(rep);
     double score = 0.0;
     for (std::size_t k = 0; k < matrix.size(); ++k) {
-      const bgp::LinkId link = matrix[k][rep];
+      const std::uint8_t link = trajectory[k];
       const auto& volumes = link_volume_per_config[k];
       double observed = kEpsilon;
-      if (link != bgp::kNoCatchment && link < volumes.size()) {
+      if (link != bgp::kNoCatchment8 && link < volumes.size()) {
         observed += volumes[link];
       }
       score += std::log(observed);
@@ -93,7 +94,7 @@ AttributionResult attribute_clusters(
 }
 
 MixtureResult attribute_mixture(
-    const measure::CatchmentMatrix& matrix, const Clustering& clustering,
+    const measure::CatchmentStore& matrix, const Clustering& clustering,
     const std::vector<std::vector<double>>& link_volume_per_config,
     double min_weight, std::size_t max_components,
     double robustness_quantile) {
@@ -127,12 +128,12 @@ MixtureResult attribute_mixture(
   // quantile of the residual volume along the cluster's trajectory.
   std::vector<double> along_trajectory;
   auto weight_of = [&](std::uint32_t cluster) {
-    const std::uint32_t rep = representative[cluster];
+    const auto trajectory = matrix.column(representative[cluster]);
     along_trajectory.clear();
     for (std::size_t c = 0; c < matrix.size(); ++c) {
-      const bgp::LinkId link = matrix[c][rep];
+      const std::uint8_t link = trajectory[c];
       along_trajectory.push_back(
-          (link != bgp::kNoCatchment && link < residual[c].size())
+          (link != bgp::kNoCatchment8 && link < residual[c].size())
               ? residual[c][link]
               : 0.0);
     }
@@ -157,10 +158,10 @@ MixtureResult attribute_mixture(
 
     used[best_cluster] = true;
     result.components.push_back({best_cluster, best_weight});
-    const std::uint32_t rep = representative[best_cluster];
+    const auto trajectory = matrix.column(representative[best_cluster]);
     for (std::size_t c = 0; c < matrix.size(); ++c) {
-      const bgp::LinkId link = matrix[c][rep];
-      if (link != bgp::kNoCatchment && link < residual[c].size()) {
+      const std::uint8_t link = trajectory[c];
+      if (link != bgp::kNoCatchment8 && link < residual[c].size()) {
         residual[c][link] = std::max(0.0, residual[c][link] - best_weight);
       }
     }

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "core/cluster.hpp"
-#include "measure/visibility.hpp"
+#include "measure/catchment_store.hpp"
 #include "util/stats.hpp"
 
 namespace spooftrack::core {
@@ -35,7 +35,7 @@ struct AttributionResult {
 };
 
 AttributionResult attribute_clusters(
-    const measure::CatchmentMatrix& matrix, const Clustering& clustering,
+    const measure::CatchmentStore& matrix, const Clustering& clustering,
     const std::vector<std::vector<double>>& link_volume_per_config);
 
 /// Multi-source attribution by greedy mixture decomposition (the paper's
@@ -68,7 +68,7 @@ struct MixtureResult {
 /// the worst ~10% of configurations at the cost of letting look-alike
 /// clusters absorb weight first.
 MixtureResult attribute_mixture(
-    const measure::CatchmentMatrix& matrix, const Clustering& clustering,
+    const measure::CatchmentStore& matrix, const Clustering& clustering,
     const std::vector<std::vector<double>>& link_volume_per_config,
     double min_weight = 0.02, std::size_t max_components = 16,
     double robustness_quantile = 0.0);

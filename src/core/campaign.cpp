@@ -60,6 +60,14 @@ std::string announcement_key(const bgp::Configuration& config) {
 
 }  // namespace
 
+std::size_t campaign_chain_count(std::size_t config_count,
+                                 const CampaignRunnerOptions& options) {
+  std::size_t workers =
+      options.workers == 0 ? util::default_worker_count() : options.workers;
+  workers = std::max<std::size_t>(workers, 1);
+  return std::max<std::size_t>(1, std::min(workers, config_count));
+}
+
 CampaignRunStats propagate_campaign(const bgp::Engine& engine,
                                     const bgp::OriginSpec& origin,
                                     const std::vector<bgp::Configuration>& configs,
@@ -121,19 +129,24 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
   OBS_GAUGE("campaign.workers", workers);
 
   if (!options.warm_start) {
-    // Cold baseline: dynamic scheduling over unique configurations (the
-    // pre-warm-start behaviour, plus memoization).
+    // Cold baseline: strided static chains over unique configurations, so
+    // the sink's per-chain serialization guarantee holds here too (chain c
+    // cold-propagates u = c, c + chains, ... serially).
+    const std::size_t chains = std::min(workers, unique.size());
+    OBS_COUNT("campaign.chains", chains);
     std::vector<std::uint32_t> rounds(unique.size(), 0);
     util::parallel_for(
-        unique.size(),
-        [&](std::size_t u) {
-          OBS_TIMER("campaign.config_ns");
-          const bgp::RoutingOutcome outcome =
-              engine.run(origin, configs[unique[u]]);
-          rounds[u] = outcome.rounds;
-          for (std::size_t idx : fanout[u]) sink(idx, outcome);
+        chains,
+        [&](std::size_t c) {
+          for (std::size_t u = c; u < unique.size(); u += chains) {
+            OBS_TIMER("campaign.config_ns");
+            const bgp::RoutingOutcome outcome =
+                engine.run(origin, configs[unique[u]]);
+            rounds[u] = outcome.rounds;
+            for (std::size_t idx : fanout[u]) sink(c, idx, outcome);
+          }
         },
-        workers);
+        chains);
     stats.cold_runs = unique.size();
     for (std::uint32_t r : rounds) stats.total_rounds += r;
     return stats;
@@ -175,7 +188,7 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
             ++cs.cold_runs;
           }
           cs.total_rounds += outcome.rounds;
-          for (std::size_t idx : fanout[u]) sink(idx, outcome);
+          for (std::size_t idx : fanout[u]) sink(c, idx, outcome);
           prev = std::move(outcome);
           prev_config = &config;
           prev_prep = std::move(prep);
@@ -197,7 +210,8 @@ std::vector<bgp::RoutingOutcome> propagate_campaign_collect(
   std::vector<bgp::RoutingOutcome> outcomes(configs.size());
   const CampaignRunStats run_stats = propagate_campaign(
       engine, origin, configs,
-      [&outcomes](std::size_t i, const bgp::RoutingOutcome& outcome) {
+      [&outcomes](std::size_t, std::size_t i,
+                  const bgp::RoutingOutcome& outcome) {
         outcomes[i] = outcome;
       },
       options);

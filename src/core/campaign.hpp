@@ -104,9 +104,21 @@ struct CampaignRunStats {
 /// Invoked concurrently from worker threads, each index exactly once;
 /// memoized configurations receive a reference to the shared outcome. The
 /// sink must not retain the reference beyond the call unless it copies.
+///
+/// `chain` identifies the propagation chain delivering the outcome:
+/// calls sharing a chain id never run concurrently, and chain ids are
+/// always < campaign_chain_count(configs.size(), options). Sinks can
+/// therefore keep mutex-free per-chain accumulators (e.g. streaming
+/// min/sum reductions) and merge them after propagate_campaign returns.
 using CampaignOutcomeSink =
-    std::function<void(std::size_t config_index,
+    std::function<void(std::size_t chain, std::size_t config_index,
                        const bgp::RoutingOutcome& outcome)>;
+
+/// Upper bound on the chain ids a campaign over `config_count`
+/// configurations can deliver under `options` (memoization may shrink the
+/// actual count). Size per-chain sink accumulators with this.
+std::size_t campaign_chain_count(std::size_t config_count,
+                                 const CampaignRunnerOptions& options = {});
 
 /// Propagates every configuration of a campaign through the engine using
 /// memoization + similarity-ordered warm-start chains (see above) and

@@ -1,17 +1,12 @@
 #include "core/cluster.hpp"
 
-#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
-namespace spooftrack::core {
+#include "core/cluster_slots.hpp"
+#include "obs/obs.hpp"
 
-namespace {
-// Catchment values are folded into 6 bits per refine step; links beyond 62
-// would alias, so we cap supported link counts well above any deployment.
-constexpr std::uint32_t kSlotBits = 6;
-constexpr std::uint32_t kSlots = 1u << kSlotBits;  // 64
-constexpr std::uint32_t kMissingSlot = kSlots - 1;
-}  // namespace
+namespace spooftrack::core {
 
 std::vector<std::uint32_t> Clustering::sizes() const {
   std::vector<std::uint32_t> out(cluster_count, 0);
@@ -40,10 +35,26 @@ ClusterTracker::ClusterTracker(std::size_t source_count) {
   keys_.assign(source_count * kSlots, 0);    // epoch per (cluster, slot)
   order_.assign(source_count * kSlots, 0);   // new id per (cluster, slot)
   epoch_ = 0;
+  singleton_mask_.assign(source_count, 0);
+  rebuild_singletons();
 }
 
-std::uint32_t ClusterTracker::refine(
-    std::span<const bgp::LinkId> catchment_row) {
+void ClusterTracker::rebuild_singletons() {
+  const auto& cluster_of = clustering_.cluster_of;
+  size_scratch_.assign(clustering_.cluster_count, 0);
+  for (std::uint32_t c : cluster_of) ++size_scratch_[c];
+  singleton_count_ = 0;
+  for (std::size_t s = 0; s < cluster_of.size(); ++s) {
+    const bool single = size_scratch_[cluster_of[s]] == 1;
+    singleton_mask_[s] = single ? 0xFF : 0x00;
+    singleton_count_ += single ? 1u : 0u;
+  }
+}
+
+template <typename Cell>
+std::uint32_t ClusterTracker::refine_impl(
+    std::span<const Cell> catchment_row) {
+  OBS_TIMER("analysis.refine_ns");
   auto& cluster_of = clustering_.cluster_of;
   if (catchment_row.size() != cluster_of.size()) {
     throw std::invalid_argument(
@@ -53,28 +64,57 @@ std::uint32_t ClusterTracker::refine(
 
   ++epoch_;
   std::uint32_t next_id = 0;
-  for (std::uint32_t s = 0; s < cluster_of.size(); ++s) {
-    const bgp::LinkId link = catchment_row[s];
-    const std::uint32_t slot =
-        link == bgp::kNoCatchment
-            ? kMissingSlot
-            : std::min<std::uint32_t>(link, kMissingSlot - 1);
+  const std::size_t n = cluster_of.size();
+  std::size_t s = 0;
+  while (s < n) {
+    if (s + 8 <= n) {
+      // Word-packed fast path: eight consecutive singleton-saturated
+      // sources. A size-one cluster is the only toucher of its (cluster,
+      // slot) bucket this epoch, so each member just takes the next dense
+      // id — no stamp-table traffic, whatever the catchment cell holds.
+      std::uint64_t word;
+      std::memcpy(&word, singleton_mask_.data() + s, sizeof word);
+      if (word == ~std::uint64_t{0}) {
+        for (std::size_t k = 0; k < 8; ++k) cluster_of[s + k] = next_id++;
+        s += 8;
+        continue;
+      }
+    }
+    if (singleton_mask_[s] != 0) {
+      cluster_of[s] = next_id++;
+      ++s;
+      continue;
+    }
+    const std::uint32_t slot = slot_of(catchment_row[s]);
     const std::size_t key = std::size_t{cluster_of[s]} * kSlots + slot;
     if (keys_[key] != epoch_) {
       keys_[key] = epoch_;
       order_[key] = next_id++;
     }
     cluster_of[s] = order_[key];
+    ++s;
   }
   clustering_.cluster_count = next_id;
+  rebuild_singletons();
   return next_id;
 }
 
-Clustering cluster_sources(
-    const std::vector<std::vector<bgp::LinkId>>& matrix) {
+std::uint32_t ClusterTracker::refine(
+    std::span<const std::uint8_t> catchment_row) {
+  return refine_impl(catchment_row);
+}
+
+std::uint32_t ClusterTracker::refine(
+    std::span<const bgp::LinkId> catchment_row) {
+  return refine_impl(catchment_row);
+}
+
+Clustering cluster_sources(const measure::CatchmentStore& matrix) {
   if (matrix.empty()) return Clustering{};
-  ClusterTracker tracker(matrix[0].size());
-  for (const auto& row : matrix) tracker.refine(row);
+  ClusterTracker tracker(matrix.sources());
+  for (std::size_t c = 0; c < matrix.size(); ++c) {
+    tracker.refine(matrix.row(c));
+  }
   return tracker.current();
 }
 

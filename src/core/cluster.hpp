@@ -7,7 +7,10 @@
 // source's cluster is identified by the tuple of its first k catchments,
 // tracked as a dense cluster id that is re-bucketed per configuration in
 // O(sources) — cheap enough for the thousands of random schedules of
-// Figure 8.
+// Figure 8. Refinement consumes encoded CatchmentStore rows directly and
+// skips singleton-saturated stretches eight sources per 64-bit load (a
+// cluster of size one can never split again, so its member's new id is
+// just the next dense id).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "bgp/catchment.hpp"
+#include "measure/catchment_store.hpp"
 
 namespace spooftrack::core {
 
@@ -38,9 +42,13 @@ class ClusterTracker {
   /// All sources start in a single cluster.
   explicit ClusterTracker(std::size_t source_count);
 
-  /// Refines with one configuration's catchment per source. Unresolved
-  /// cells (bgp::kNoCatchment) are treated as a distinct catchment value —
-  /// a conservative split. Returns the new cluster count.
+  /// Refines with one configuration's encoded catchment row (CatchmentStore
+  /// cells; bgp::kNoCatchment8 is treated as a distinct catchment value — a
+  /// conservative split). Throws std::out_of_range on cells the 6-bit
+  /// cluster slots cannot represent. Returns the new cluster count.
+  std::uint32_t refine(std::span<const std::uint8_t> catchment_row);
+
+  /// Same, over raw LinkId cells (legacy row shape).
   std::uint32_t refine(std::span<const bgp::LinkId> catchment_row);
 
   const Clustering& current() const noexcept { return clustering_; }
@@ -51,7 +59,20 @@ class ClusterTracker {
     return clustering_.mean_size();
   }
 
+  /// Per-source saturation mask: 0xFF when the source's cluster has exactly
+  /// one member (it can never split again), 0x00 otherwise. Schedule
+  /// evaluation uses it to skip saturated stretches with 64-bit loads.
+  std::span<const std::uint8_t> singleton_mask() const noexcept {
+    return singleton_mask_;
+  }
+  /// Number of sources whose cluster is a singleton.
+  std::uint32_t singleton_count() const noexcept { return singleton_count_; }
+
  private:
+  template <typename Cell>
+  std::uint32_t refine_impl(std::span<const Cell> catchment_row);
+  void rebuild_singletons();
+
   Clustering clustering_;
   // Epoch-stamped scratch tables reused across refine() calls: keys_ holds
   // the epoch a (cluster, catchment) bucket was last touched, order_ the
@@ -59,11 +80,13 @@ class ClusterTracker {
   std::vector<std::uint64_t> keys_;
   std::vector<std::uint32_t> order_;
   std::uint64_t epoch_ = 0;
+  std::vector<std::uint8_t> singleton_mask_;
+  std::uint32_t singleton_count_ = 0;
+  std::vector<std::uint32_t> size_scratch_;
 };
 
 /// Convenience: refine with every row of a catchment matrix
 /// (rows = configurations, columns = sources).
-Clustering cluster_sources(
-    const std::vector<std::vector<bgp::LinkId>>& matrix);
+Clustering cluster_sources(const measure::CatchmentStore& matrix);
 
 }  // namespace spooftrack::core

@@ -158,17 +158,24 @@ DeploymentResult PeeringTestbed::deploy(
   if (config_.measured_catchments) result.measured.resize(n);
   if (config_.audit_policies) result.compliance.resize(n);
 
-  // Per-config distance rows, min-reduced after the parallel section.
-  std::vector<std::vector<std::uint32_t>> distance_rows(n);
-
   // Propagation runs through the campaign runner: memoized, ordered by
   // seed similarity, warm-started along per-worker chains (cold per-config
   // when warm_campaign is off). Outcomes are bit-identical either way; the
   // sink runs the per-configuration measurement pipeline on disjoint slots.
   CampaignRunnerOptions runner;
   runner.warm_start = config_.warm_campaign;
+
+  // Per-AS route distances stream into per-chain min accumulators inside
+  // the sink (calls sharing a chain never run concurrently, so no mutex)
+  // and are min-merged afterwards — min is order-independent, so the
+  // result matches a per-config materialization without the n x as_count
+  // temporary rows.
+  std::vector<std::vector<std::uint32_t>> chain_min_distance(
+      campaign_chain_count(n, runner));
+
   propagate_campaign(engine_, origin_, result.configs,
-                     [&](std::size_t i, const bgp::RoutingOutcome& outcome) {
+                     [&](std::size_t chain, std::size_t i,
+                         const bgp::RoutingOutcome& outcome) {
     OBS_TIMER("deploy.config_pipeline_ns");
     const bgp::Configuration& config = result.configs[i];
     if (!outcome.converged) {
@@ -178,13 +185,14 @@ DeploymentResult PeeringTestbed::deploy(
     result.engine_rounds[i] = outcome.rounds;
     result.truth[i] = bgp::extract_catchments(outcome, config);
 
-    auto& distances = distance_rows[i];
-    distances.assign(as_count, topology::kUnreachable);
+    auto& distances = chain_min_distance[chain];
+    if (distances.empty()) distances.assign(as_count, topology::kUnreachable);
     for (topology::AsId id = 0; id < as_count; ++id) {
       const bgp::Route& route = outcome.best[id];
       if (route.valid()) {
-        distances[id] =
-            collapsed_distance(outcome.paths->view(route.path), origin_.asn);
+        distances[id] = std::min(
+            distances[id],
+            collapsed_distance(outcome.paths->view(route.path), origin_.asn));
       }
     }
 
@@ -211,12 +219,14 @@ DeploymentResult PeeringTestbed::deploy(
     }
   }, runner);
 
-  // Distance: minimum across configurations.
+  // Distance: min-merge the per-chain accumulators (chains that never ran
+  // a configuration stay empty).
   result.min_route_distance.assign(as_count, topology::kUnreachable);
-  for (const auto& row : distance_rows) {
+  for (const auto& chain : chain_min_distance) {
+    if (chain.empty()) continue;
     for (topology::AsId id = 0; id < as_count; ++id) {
       result.min_route_distance[id] =
-          std::min(result.min_route_distance[id], row[id]);
+          std::min(result.min_route_distance[id], chain[id]);
     }
   }
 
@@ -244,13 +254,13 @@ DeploymentResult PeeringTestbed::deploy(
       }
     }
     OBS_GAUGE("deploy.sources", result.sources.size());
-    result.matrix.assign(n, std::vector<bgp::LinkId>(result.sources.size(),
-                                                     bgp::kNoCatchment));
+    result.matrix.assign(n, result.sources.size());
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t s = 0; s < result.sources.size(); ++s) {
-        result.matrix[i][s] = result.truth[i].link_of[result.sources[s]];
+        result.matrix.set(i, s, result.truth[i].link_of[result.sources[s]]);
       }
     }
+    OBS_GAUGE("analysis.matrix_bytes", result.matrix.size_bytes());
   }
   return result;
 }

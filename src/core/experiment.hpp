@@ -98,7 +98,7 @@ struct DeploymentResult {
   /// The analysis source set (§IV-d baseline) and its catchment matrix
   /// (rows = configurations, columns = sources, visibility-imputed).
   std::vector<topology::AsId> sources;
-  measure::CatchmentMatrix matrix;
+  measure::CatchmentStore matrix;
   /// Per AsId: minimum collapsed AS-hop distance to the origin observed
   /// across all configurations (Figure 7's distance).
   std::vector<std::uint32_t> min_route_distance;

@@ -11,17 +11,22 @@ std::vector<HijackScenario> hijack_coverage(
     throw std::invalid_argument("hijack coverage needs 1..20 announcements");
   }
 
-  // Routed ASes per announcement index.
+  // Routed ASes per announcement index, from one pass over the catchment
+  // map (CatchmentMap::counts) instead of an announcements-per-AS scan.
+  // Duplicate links credit only the first announcement, matching the old
+  // first-match loop.
+  const std::vector<std::size_t> link_counts =
+      map.counts(bgp::kMaxCatchmentLinks);
   std::vector<std::uint64_t> per_announcement(n, 0);
-  std::uint64_t routed = 0;
-  for (bgp::LinkId link : map.link_of) {
-    if (link == bgp::kNoCatchment) continue;
-    ++routed;
-    for (std::size_t a = 0; a < n; ++a) {
-      if (config.announcements[a].link == link) {
-        ++per_announcement[a];
-        break;
-      }
+  const std::uint64_t routed = map.routed_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    const bgp::LinkId link = config.announcements[a].link;
+    bool duplicate = false;
+    for (std::size_t b = 0; b < a && !duplicate; ++b) {
+      duplicate = config.announcements[b].link == link;
+    }
+    if (!duplicate && link < link_counts.size()) {
+      per_announcement[a] = link_counts[link];
     }
   }
 

@@ -153,17 +153,12 @@ void save_artifact(const DeploymentArtifact& artifact, std::ostream& out) {
     put<std::uint64_t>(out, stats.both_criteria);
   }
 
-  // Matrix cells as bytes (link ids are tiny; 0xFF = no catchment).
+  // Matrix cells as bytes (0xFF = no catchment) — the store's exact
+  // in-memory layout, so the buffer writes in one shot.
   put<std::uint64_t>(out, artifact.matrix.size());
-  put<std::uint64_t>(out,
-                     artifact.matrix.empty() ? 0 : artifact.matrix[0].size());
-  for (const auto& row : artifact.matrix) {
-    for (bgp::LinkId link : row) {
-      put<std::uint8_t>(out, link == bgp::kNoCatchment
-                                 ? 0xFF
-                                 : static_cast<std::uint8_t>(link));
-    }
-  }
+  put<std::uint64_t>(out, artifact.matrix.sources());
+  out.write(reinterpret_cast<const char*>(artifact.matrix.data()),
+            static_cast<std::streamsize>(artifact.matrix.size_bytes()));
   if (!out) throw std::runtime_error("artifact write failed");
 }
 
@@ -228,11 +223,15 @@ DeploymentArtifact load_artifact(std::istream& in) {
   if (rows > kSaneCap || cols > kSaneCap || rows * cols > kSaneCap * 8) {
     throw std::runtime_error("artifact matrix too large");
   }
-  artifact.matrix.assign(rows, std::vector<bgp::LinkId>(cols));
-  for (auto& row : artifact.matrix) {
-    for (auto& cell : row) {
-      const auto byte = get<std::uint8_t>(in);
-      cell = byte == 0xFF ? bgp::kNoCatchment : byte;
+  artifact.matrix.assign(rows, cols);
+  in.read(reinterpret_cast<char*>(artifact.matrix.data()),
+          static_cast<std::streamsize>(artifact.matrix.size_bytes()));
+  if (!in) throw std::runtime_error("artifact truncated");
+  for (std::size_t c = 0; c < artifact.matrix.size(); ++c) {
+    for (std::uint8_t cell : artifact.matrix.row(c)) {
+      if (cell != bgp::kNoCatchment8 && cell >= bgp::kMaxCatchmentLinks) {
+        throw std::runtime_error("artifact matrix cell out of range");
+      }
     }
   }
   return artifact;

@@ -17,7 +17,7 @@
 #include "bgp/announcement.hpp"
 #include "core/experiment.hpp"
 #include "core/policy_audit.hpp"
-#include "measure/visibility.hpp"
+#include "measure/catchment_store.hpp"
 
 namespace spooftrack::core {
 
@@ -31,7 +31,7 @@ struct DeploymentArtifact {
 
   std::vector<bgp::Configuration> configs;
   std::vector<topology::AsId> sources;
-  measure::CatchmentMatrix matrix;  // rows = configs, cols = sources
+  measure::CatchmentStore matrix;  // rows = configs, cols = sources
   std::vector<std::uint32_t> source_distance;
   std::vector<ComplianceStats> compliance;
   double mean_multi_catchment = 0.0;

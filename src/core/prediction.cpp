@@ -49,6 +49,32 @@ void CatchmentPredictor::observe(const ConfigDescriptor& config,
   }
 }
 
+void CatchmentPredictor::observe(const ConfigDescriptor& config,
+                                 std::span<const std::uint8_t> row) {
+  if (row.size() != seen_.size()) {
+    throw std::invalid_argument("row size does not match source count");
+  }
+  decoded_.resize(row.size());
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    decoded_[s] = measure::CatchmentStore::decode(row[s]);
+  }
+  observe(config, std::span<const bgp::LinkId>(decoded_));
+}
+
+double CatchmentPredictor::accuracy(
+    const ConfigDescriptor& config,
+    std::span<const std::uint8_t> actual) const {
+  std::size_t total = 0, correct = 0;
+  for (std::size_t s = 0; s < actual.size() && s < seen_.size(); ++s) {
+    if (actual[s] == bgp::kNoCatchment8) continue;
+    ++total;
+    correct += predict(config, s) == actual[s];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
 bgp::LinkId CatchmentPredictor::copeland(std::size_t source,
                                          std::uint32_t candidates) const {
   bgp::LinkId best = bgp::kNoCatchment;

@@ -17,6 +17,7 @@
 
 #include "bgp/announcement.hpp"
 #include "bgp/catchment.hpp"
+#include "measure/catchment_store.hpp"
 
 namespace spooftrack::core {
 
@@ -44,6 +45,9 @@ class CatchmentPredictor {
   /// catchment (kNoCatchment cells are skipped).
   void observe(const ConfigDescriptor& config,
                std::span<const bgp::LinkId> row);
+  /// Same, over an encoded CatchmentStore row (kNoCatchment8 skipped).
+  void observe(const ConfigDescriptor& config,
+               std::span<const std::uint8_t> row);
 
   /// Predicted catchment of one source under a configuration; returns
   /// kNoCatchment when nothing was ever observed for the source.
@@ -56,6 +60,9 @@ class CatchmentPredictor {
   /// Fraction of non-missing cells of `actual` matched by the prediction.
   double accuracy(const ConfigDescriptor& config,
                   std::span<const bgp::LinkId> actual) const;
+  /// Same, over an encoded CatchmentStore row.
+  double accuracy(const ConfigDescriptor& config,
+                  std::span<const std::uint8_t> actual) const;
 
   std::size_t observed_configs() const noexcept { return observed_; }
 
@@ -76,6 +83,7 @@ class CatchmentPredictor {
   /// evidence that LocalPref, not path length, drives the choice.
   std::vector<std::uint16_t> strong_wins_;
   std::vector<std::uint8_t> seen_;  // per source: any observation at all
+  std::vector<bgp::LinkId> decoded_;  // scratch for encoded-row observe()
 };
 
 }  // namespace spooftrack::core

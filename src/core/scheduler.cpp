@@ -1,11 +1,15 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
 #include <span>
 #include <stdexcept>
-#include <numeric>
 
 #include "core/cluster.hpp"
+#include "core/cluster_slots.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -13,26 +17,31 @@ namespace spooftrack::core {
 
 namespace {
 
-constexpr std::uint32_t kSlots = 64;
-constexpr std::uint32_t kMissingSlot = kSlots - 1;
-
-std::uint32_t slot_of(bgp::LinkId link) noexcept {
-  return link == bgp::kNoCatchment
-             ? kMissingSlot
-             : std::min<std::uint32_t>(link, kMissingSlot - 1);
-}
+constexpr auto kNoConfig = std::numeric_limits<std::size_t>::max();
 
 /// Number of clusters a refinement with `row` would produce, without
 /// mutating the partition. Uses caller-provided epoch scratch tables.
-std::uint32_t count_after(const std::vector<std::uint32_t>& cluster_of,
-                          std::span<const bgp::LinkId> row,
+/// Singleton clusters contribute exactly one bucket each whatever their
+/// cell holds, so the scan touches only the pre-gathered active
+/// (non-singleton) sources; `active_base` carries each one's
+/// `cluster_of * kSlots` so the hot loop is one gather, one add and one
+/// stamp probe. Each active source can add at most one bucket, so once
+/// `count + remaining <= bound` the candidate provably cannot *strictly*
+/// exceed `bound` and the scan aborts early — the returned partial count
+/// is then <= the true count <= bound, which compares identically in the
+/// strictly-greater replacement the callers use.
+std::uint32_t count_after(std::span<const std::uint32_t> active_src,
+                          std::span<const std::size_t> active_base,
+                          std::uint32_t singleton_count,
+                          std::span<const std::uint8_t> row,
                           std::vector<std::uint64_t>& stamp,
-                          std::uint64_t& epoch) {
+                          std::uint64_t& epoch, std::uint32_t bound) {
   ++epoch;
-  std::uint32_t count = 0;
-  for (std::uint32_t s = 0; s < cluster_of.size(); ++s) {
-    const std::size_t key =
-        std::size_t{cluster_of[s]} * kSlots + slot_of(row[s]);
+  std::uint32_t count = singleton_count;
+  const std::size_t m = active_src.size();
+  for (std::size_t k = 0; k < m; ++k) {
+    if (count + static_cast<std::uint32_t>(m - k) <= bound) return count;
+    const std::size_t key = active_base[k] + slot_of(row[active_src[k]]);
     if (stamp[key] != epoch) {
       stamp[key] = epoch;
       ++count;
@@ -43,7 +52,7 @@ std::uint32_t count_after(const std::vector<std::uint32_t>& cluster_of,
 
 }  // namespace
 
-ScheduleTrace random_schedule(const measure::CatchmentMatrix& matrix,
+ScheduleTrace random_schedule(const measure::CatchmentStore& matrix,
                               util::Rng& rng) {
   ScheduleTrace trace;
   if (matrix.empty()) return trace;
@@ -51,54 +60,133 @@ ScheduleTrace random_schedule(const measure::CatchmentMatrix& matrix,
   std::iota(trace.order.begin(), trace.order.end(), std::size_t{0});
   rng.shuffle(trace.order);
 
-  ClusterTracker tracker(matrix[0].size());
+  ClusterTracker tracker(matrix.sources());
   trace.mean_cluster_size.reserve(matrix.size());
   for (std::size_t config : trace.order) {
-    tracker.refine(matrix[config]);
+    tracker.refine(matrix.row(config));
     trace.mean_cluster_size.push_back(tracker.mean_cluster_size());
   }
   return trace;
 }
 
-ScheduleTrace greedy_schedule(const measure::CatchmentMatrix& matrix,
-                              std::size_t steps) {
+ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
+                              std::size_t steps, std::size_t workers) {
+  OBS_TIMER("analysis.schedule_ns");
   ScheduleTrace trace;
   if (matrix.empty()) return trace;
-  const std::size_t source_count = matrix[0].size();
-  if (steps == 0 || steps > matrix.size()) steps = matrix.size();
+  const std::size_t n = matrix.size();
+  const std::size_t source_count = matrix.sources();
+  if (steps == 0 || steps > n) steps = n;
+  if (workers == 0) workers = util::default_worker_count();
+  const std::size_t chunks = std::max<std::size_t>(1, std::min(workers, n));
+  OBS_GAUGE("analysis.schedule_workers", chunks);
 
   ClusterTracker tracker(source_count);
-  std::vector<bool> used(matrix.size(), false);
-  std::vector<std::uint64_t> stamp(source_count * kSlots, 0);
-  std::uint64_t epoch = 0;
+  std::vector<bool> used(n, false);
+
+  // One stamp table + epoch per worker so candidate scans never share
+  // mutable state; chunk w owns best[w], so dynamic task claiming in the
+  // pool cannot affect the result.
+  struct Scratch {
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t epoch = 0;
+  };
+  std::vector<Scratch> scratch(chunks);
+  for (auto& sc : scratch) sc.stamp.assign(source_count * kSlots, 0);
+
+  struct Best {
+    std::size_t config = kNoConfig;
+    std::uint32_t count = 0;
+  };
+  std::vector<Best> best(chunks);
+
+  // Compact list of non-singleton sources, rebuilt once per step: the
+  // per-candidate scan touches only these, so as refinement saturates the
+  // partition the inner loop shrinks towards zero. `active_base` holds each
+  // active source's `cluster_of * kSlots` so candidates don't re-derive it.
+  std::vector<std::uint32_t> active_src;
+  std::vector<std::size_t> active_base;
+  active_src.reserve(source_count);
+  active_base.reserve(source_count);
+
+  util::WorkerPool pool(chunks - 1);
 
   for (std::size_t step = 0; step < steps; ++step) {
-    std::size_t best_config = matrix.size();
-    std::uint32_t best_count = 0;
-    for (std::size_t c = 0; c < matrix.size(); ++c) {
-      if (used[c]) continue;
-      const std::uint32_t count = count_after(
-          tracker.current().cluster_of, matrix[c], stamp, epoch);
-      if (best_config == matrix.size() || count > best_count) {
-        best_config = c;
-        best_count = count;
+    const auto& cluster_of = tracker.current().cluster_of;
+    const auto mask = tracker.singleton_mask();
+    const std::uint32_t singles = tracker.singleton_count();
+
+    active_src.clear();
+    active_base.clear();
+    for (std::size_t s = 0; s < source_count;) {
+      if (s + 8 <= source_count) {
+        std::uint64_t word;
+        std::memcpy(&word, mask.data() + s, sizeof word);
+        if (word == ~std::uint64_t{0}) {
+          s += 8;
+          continue;
+        }
+      }
+      if (mask[s] == 0) {
+        active_src.push_back(static_cast<std::uint32_t>(s));
+        active_base.push_back(std::size_t{cluster_of[s]} * kSlots);
+      }
+      ++s;
+    }
+
+    Best winner;
+    if (active_src.empty()) {
+      // Fully saturated partition: every candidate refines to exactly
+      // `singles` clusters, so the serial scan would pick the lowest-index
+      // unused config. Do that directly.
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!used[c]) {
+          winner = {c, singles};
+          break;
+        }
+      }
+    } else {
+      pool.run(chunks, [&](std::size_t w) {
+        Best b;
+        auto& sc = scratch[w];
+        const std::size_t begin = w * n / chunks;
+        const std::size_t end = (w + 1) * n / chunks;
+        for (std::size_t c = begin; c < end; ++c) {
+          if (used[c]) continue;
+          const std::uint32_t bound = b.config == kNoConfig ? 0 : b.count;
+          const std::uint32_t count =
+              count_after(active_src, active_base, singles, matrix.row(c),
+                          sc.stamp, sc.epoch, bound);
+          if (b.config == kNoConfig || count > b.count) b = {c, count};
+        }
+        best[w] = b;
+      });
+
+      // Deterministic reduction: chunks cover ascending contiguous config
+      // ranges, and both the in-chunk scan and this merge replace only on
+      // strictly greater counts — so the winner is the lowest-index config
+      // with the maximum count, exactly as in a serial scan.
+      for (const Best& b : best) {
+        if (b.config == kNoConfig) continue;
+        if (winner.config == kNoConfig || b.count > winner.count) winner = b;
       }
     }
-    if (best_config == matrix.size()) break;
-    used[best_config] = true;
-    tracker.refine(matrix[best_config]);
-    trace.order.push_back(best_config);
+    if (winner.config == kNoConfig) break;
+    used[winner.config] = true;
+    tracker.refine(matrix.row(winner.config));
+    trace.order.push_back(winner.config);
     trace.mean_cluster_size.push_back(tracker.mean_cluster_size());
   }
   return trace;
 }
 
 ScheduleTrace weighted_greedy_schedule(
-    const measure::CatchmentMatrix& matrix,
+    const measure::CatchmentStore& matrix,
     const std::vector<double>& source_volume, std::size_t steps) {
+  OBS_TIMER("analysis.schedule_ns");
   ScheduleTrace trace;
   if (matrix.empty()) return trace;
-  const std::size_t source_count = matrix[0].size();
+  const std::size_t source_count = matrix.sources();
   if (source_volume.size() != source_count) {
     throw std::invalid_argument("one volume per source is required");
   }
@@ -119,7 +207,7 @@ ScheduleTrace weighted_greedy_schedule(
   std::uint64_t epoch = 0;
 
   // Volume-weighted expected cluster size of the refinement by `row`.
-  auto weighted_after = [&](std::span<const bgp::LinkId> row) {
+  auto weighted_after = [&](std::span<const std::uint8_t> row) {
     ++epoch;
     const auto& cluster_of = tracker.current().cluster_of;
     std::uint32_t next_bucket = 0;
@@ -146,26 +234,26 @@ ScheduleTrace weighted_greedy_schedule(
   };
 
   for (std::size_t step = 0; step < steps; ++step) {
-    std::size_t best_config = matrix.size();
+    std::size_t best_config = kNoConfig;
     double best_objective = 0.0;
     for (std::size_t c = 0; c < matrix.size(); ++c) {
       if (used[c]) continue;
-      const double objective = weighted_after(matrix[c]);
-      if (best_config == matrix.size() || objective < best_objective) {
+      const double objective = weighted_after(matrix.row(c));
+      if (best_config == kNoConfig || objective < best_objective) {
         best_config = c;
         best_objective = objective;
       }
     }
-    if (best_config == matrix.size()) break;
+    if (best_config == kNoConfig) break;
     used[best_config] = true;
-    tracker.refine(matrix[best_config]);
+    tracker.refine(matrix.row(best_config));
     trace.order.push_back(best_config);
     trace.mean_cluster_size.push_back(best_objective);
   }
   return trace;
 }
 
-RandomEnsemble random_ensemble(const measure::CatchmentMatrix& matrix,
+RandomEnsemble random_ensemble(const measure::CatchmentStore& matrix,
                                std::size_t sequences, std::uint64_t seed,
                                std::size_t max_steps) {
   RandomEnsemble ensemble;

@@ -2,13 +2,19 @@
 // shrunk? The paper compares random deployment orders against a greedy
 // schedule that — assuming catchments were measured beforehand — always
 // deploys the configuration minimising the resulting mean cluster size.
+//
+// All schedulers consume the columnar measure::CatchmentStore; legacy
+// nested-vector matrices convert implicitly. greedy_schedule parallelises
+// its per-step candidate scan across workers with per-worker epoch stamp
+// tables and a deterministic lowest-index-max reduction, so its output is
+// bit-identical for any worker count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "bgp/catchment.hpp"
-#include "measure/visibility.hpp"
+#include "measure/catchment_store.hpp"
 #include "util/rng.hpp"
 
 namespace spooftrack::core {
@@ -20,14 +26,17 @@ struct ScheduleTrace {
 };
 
 /// Deploys all configurations in a uniformly random order (no repetition).
-ScheduleTrace random_schedule(const measure::CatchmentMatrix& matrix,
+ScheduleTrace random_schedule(const measure::CatchmentStore& matrix,
                               util::Rng& rng);
 
 /// Greedy schedule: at each step deploy the configuration that minimises
 /// the mean cluster size of the refined partition (ties: lowest index).
-/// Stops after `steps` configurations (0 = all).
-ScheduleTrace greedy_schedule(const measure::CatchmentMatrix& matrix,
-                              std::size_t steps = 0);
+/// Stops after `steps` configurations (0 = all). The candidate scan of each
+/// step runs on `workers` threads (0 = util::default_worker_count()); the
+/// schedule is bit-identical for every worker count.
+ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
+                              std::size_t steps = 0,
+                              std::size_t workers = 0);
 
 /// §VIII future work (i): greedy schedule that jointly optimises cluster
 /// size and spoofed volume. Each source carries a volume weight (e.g. the
@@ -40,7 +49,7 @@ ScheduleTrace greedy_schedule(const measure::CatchmentMatrix& matrix,
 /// the most spoofed traffic first. `mean_cluster_size` in the returned
 /// trace holds this weighted objective.
 ScheduleTrace weighted_greedy_schedule(
-    const measure::CatchmentMatrix& matrix,
+    const measure::CatchmentStore& matrix,
     const std::vector<double>& source_volume, std::size_t steps = 0);
 
 /// Percentile band over many random schedules: entry k of each vector is
@@ -53,7 +62,7 @@ struct RandomEnsemble {
   std::size_t sequences = 0;
 };
 
-RandomEnsemble random_ensemble(const measure::CatchmentMatrix& matrix,
+RandomEnsemble random_ensemble(const measure::CatchmentStore& matrix,
                                std::size_t sequences, std::uint64_t seed,
                                std::size_t max_steps = 0);
 

@@ -1,0 +1,78 @@
+#include "measure/catchment_store.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace spooftrack::measure {
+
+namespace {
+
+[[noreturn]] void throw_out_of_range(std::uint32_t link) {
+  throw std::out_of_range(
+      "link id " + std::to_string(link) + " exceeds the " +
+      std::to_string(bgp::kMaxCatchmentLinks) +
+      "-link analysis limit (would alias in the 6-bit cluster slots)");
+}
+
+}  // namespace
+
+CatchmentStore::CatchmentStore(std::size_t configs, std::size_t sources)
+    : rows_(configs),
+      cols_(sources),
+      cells_(configs * sources, kNoCatchment8) {}
+
+CatchmentStore::CatchmentStore(const CatchmentMatrix& rows) {
+  if (rows.empty()) return;
+  cols_ = rows[0].size();
+  cells_.reserve(rows.size() * cols_);
+  for (const auto& row : rows) append_row(std::span<const bgp::LinkId>(row));
+}
+
+std::uint8_t CatchmentStore::encode(bgp::LinkId link) {
+  if (link == bgp::kNoCatchment) return kNoCatchment8;
+  if (link >= bgp::kMaxCatchmentLinks) throw_out_of_range(link);
+  return static_cast<std::uint8_t>(link);
+}
+
+void CatchmentStore::append_row(std::span<const bgp::LinkId> links) {
+  if (rows_ == 0) {
+    cols_ = links.size();
+  } else if (links.size() != cols_) {
+    throw std::invalid_argument("catchment row width does not match matrix");
+  }
+  for (bgp::LinkId link : links) cells_.push_back(encode(link));
+  ++rows_;
+}
+
+void CatchmentStore::append_row(std::span<const std::uint8_t> cells) {
+  if (rows_ == 0) {
+    cols_ = cells.size();
+  } else if (cells.size() != cols_) {
+    throw std::invalid_argument("catchment row width does not match matrix");
+  }
+  for (std::uint8_t cell : cells) {
+    if (cell != kNoCatchment8 && cell >= bgp::kMaxCatchmentLinks) {
+      throw_out_of_range(cell);
+    }
+    cells_.push_back(cell);
+  }
+  ++rows_;
+}
+
+void CatchmentStore::assign(std::size_t configs, std::size_t sources) {
+  rows_ = configs;
+  cols_ = sources;
+  cells_.assign(configs * sources, kNoCatchment8);
+}
+
+CatchmentMatrix CatchmentStore::to_rows() const {
+  CatchmentMatrix out(rows_, std::vector<bgp::LinkId>(cols_));
+  for (std::size_t c = 0; c < rows_; ++c) {
+    for (std::size_t s = 0; s < cols_; ++s) {
+      out[c][s] = link_at(c, s);
+    }
+  }
+  return out;
+}
+
+}  // namespace spooftrack::measure

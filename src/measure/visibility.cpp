@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace spooftrack::measure {
 
 std::vector<topology::AsId> baseline_sources(const InferenceResult& first) {
@@ -15,50 +17,51 @@ std::vector<topology::AsId> baseline_sources(const InferenceResult& first) {
   return sources;
 }
 
-CatchmentMatrix build_matrix(const std::vector<InferenceResult>& per_config,
-                             const std::vector<topology::AsId>& sources) {
-  CatchmentMatrix matrix(per_config.size(),
-                         std::vector<bgp::LinkId>(sources.size(),
-                                                  bgp::kNoCatchment));
+CatchmentStore build_matrix(const std::vector<InferenceResult>& per_config,
+                            const std::vector<topology::AsId>& sources) {
+  CatchmentStore matrix(per_config.size(), sources.size());
   for (std::size_t c = 0; c < per_config.size(); ++c) {
     const auto& inferred = per_config[c];
     for (std::size_t s = 0; s < sources.size(); ++s) {
       const topology::AsId id = sources[s];
       if (inferred.observed[id]) {
-        matrix[c][s] = inferred.catchments.link_of[id];
+        matrix.set(c, s, inferred.catchments.link_of[id]);
       }
     }
   }
   impute_missing(matrix);
+  OBS_GAUGE("analysis.matrix_bytes", matrix.size_bytes());
   return matrix;
 }
 
 namespace {
 
 /// Number of configurations where both sources were observed in the same
-/// catchment.
-std::uint32_t co_catchment_count(const CatchmentMatrix& matrix,
+/// catchment. Columns are strided views over the row-major store.
+std::uint32_t co_catchment_count(const CatchmentStore& matrix,
                                  std::size_t s, std::size_t t) {
+  const auto col_s = matrix.column(s);
+  const auto col_t = matrix.column(t);
   std::uint32_t count = 0;
-  for (const auto& row : matrix) {
-    const bgp::LinkId a = row[s];
-    const bgp::LinkId b = row[t];
-    if (a != bgp::kNoCatchment && a == b) ++count;
+  for (std::size_t c = 0; c < matrix.size(); ++c) {
+    const std::uint8_t a = col_s[c];
+    if (a != kNoCatchment8 && a == col_t[c]) ++count;
   }
   return count;
 }
 
 }  // namespace
 
-void impute_missing(CatchmentMatrix& matrix) {
+void impute_missing(CatchmentStore& matrix) {
   if (matrix.empty()) return;
-  const std::size_t source_count = matrix[0].size();
+  const std::size_t source_count = matrix.sources();
 
   // Sources with at least one missing cell.
   std::vector<std::size_t> incomplete;
   for (std::size_t s = 0; s < source_count; ++s) {
-    for (const auto& row : matrix) {
-      if (row[s] == bgp::kNoCatchment) {
+    const auto col = matrix.column(s);
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
+      if (col[c] == kNoCatchment8) {
         incomplete.push_back(s);
         break;
       }
@@ -81,9 +84,10 @@ void impute_missing(CatchmentMatrix& matrix) {
         }
       }
       if (smax == source_count) continue;  // never co-observed with anyone
-      for (auto& row : matrix) {
-        if (row[s] == bgp::kNoCatchment && row[smax] != bgp::kNoCatchment) {
-          row[s] = row[smax];
+      for (std::size_t c = 0; c < matrix.size(); ++c) {
+        if (matrix.cell(c, s) == kNoCatchment8 &&
+            matrix.cell(c, smax) != kNoCatchment8) {
+          matrix.row(c)[s] = matrix.cell(c, smax);
         }
       }
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bgp/catchment.hpp"
+#include "measure/catchment_store.hpp"
 #include "measure/inference.hpp"
 #include "topology/as_graph.hpp"
 
@@ -21,21 +22,17 @@ namespace spooftrack::measure {
 /// (all-locations, no prepending, no poisoning) configuration.
 std::vector<topology::AsId> baseline_sources(const InferenceResult& first);
 
-/// Catchment matrix over a fixed source set: row per configuration, column
-/// per source (indexed as in `sources`). Cells hold LinkIds, or
-/// bgp::kNoCatchment when unresolved.
-using CatchmentMatrix = std::vector<std::vector<bgp::LinkId>>;
-
-/// Builds the matrix from per-configuration inference results, then imputes
-/// missing cells via s_max. Two imputation passes run so that a cell can be
-/// filled from a value the first pass produced; cells that remain missing
-/// (e.g. s_max unobserved in the same configurations) stay kNoCatchment.
-CatchmentMatrix build_matrix(
-    const std::vector<InferenceResult>& per_config,
-    const std::vector<topology::AsId>& sources);
+/// Builds the columnar matrix (row per configuration, column per source,
+/// indexed as in `sources`) from per-configuration inference results, then
+/// imputes missing cells via s_max. Two imputation passes run so that a
+/// cell can be filled from a value the first pass produced; cells that
+/// remain missing (e.g. s_max unobserved in the same configurations) stay
+/// kNoCatchment8.
+CatchmentStore build_matrix(const std::vector<InferenceResult>& per_config,
+                            const std::vector<topology::AsId>& sources);
 
 /// The imputation step alone, exposed for tests: fills missing cells of
 /// `matrix` in place using s_max co-catchment frequency.
-void impute_missing(CatchmentMatrix& matrix);
+void impute_missing(CatchmentStore& matrix);
 
 }  // namespace spooftrack::measure

@@ -43,6 +43,28 @@ TEST_F(CatchmentTest, MembersMatchCounts) {
   }
 }
 
+TEST_F(CatchmentTest, CountsMatchesPerLinkScan) {
+  const auto config = test::announce_all(2);
+  const auto outcome = engine_.run(origin_, config);
+  const auto map = extract_catchments(outcome, config);
+
+  // The one-pass totals equal a links x count(link) scan, and missing
+  // cells never count towards any link.
+  const auto totals = map.counts(kMaxCatchmentLinks);
+  ASSERT_EQ(totals.size(), kMaxCatchmentLinks);
+  std::size_t sum = 0;
+  for (LinkId link = 0; link < kMaxCatchmentLinks; ++link) {
+    EXPECT_EQ(totals[link], map.count(link)) << "link " << link;
+    sum += totals[link];
+  }
+  EXPECT_EQ(sum, map.routed_count());
+
+  // A shorter horizon just truncates; links beyond it are ignored.
+  const auto narrow = map.counts(1);
+  ASSERT_EQ(narrow.size(), 1u);
+  EXPECT_EQ(narrow[0], map.count(0));
+}
+
 TEST_F(CatchmentTest, SingleLinkCatchmentIsEverything) {
   Configuration config;
   config.announcements.push_back({0, 0, {}, {}});

@@ -77,7 +77,7 @@ TEST_F(TestbedTest, DeployGroundTruthPipeline) {
   ASSERT_EQ(result.matrix.size(), 8u);
   // Matrix rows match truth catchments.
   for (std::size_t s = 0; s < result.sources.size(); ++s) {
-    EXPECT_EQ(result.matrix[0][s],
+    EXPECT_EQ(result.matrix.link_at(0, s),
               result.truth[0].link_of[result.sources[s]]);
   }
   // Refining over the location phase produces multiple clusters.
@@ -100,7 +100,7 @@ TEST_F(TestbedTest, DeployMeasuredPipeline) {
   std::size_t agree = 0, resolved = 0;
   for (std::size_t s = 0; s < result.sources.size(); ++s) {
     const auto truth = result.truth[0].link_of[result.sources[s]];
-    const auto measured = result.matrix[0][s];
+    const bgp::LinkId measured = result.matrix.link_at(0, s);
     if (measured == bgp::kNoCatchment) continue;
     ++resolved;
     agree += measured == truth;

@@ -36,7 +36,8 @@ DeploymentArtifact sample_artifact() {
   stats.best_relationship = 88;
   stats.both_criteria = 80;
   artifact.compliance = {stats, stats};
-  artifact.matrix = {{0, 1, bgp::kNoCatchment}, {2, 2, 0}};
+  artifact.matrix = measure::CatchmentMatrix{{0, 1, bgp::kNoCatchment},
+                                             {2, 2, 0}};
   return artifact;
 }
 

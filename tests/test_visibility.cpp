@@ -29,61 +29,62 @@ TEST(Visibility, MatrixUsesObservedCells) {
   const std::vector<topology::AsId> sources{0, 2};
   const auto matrix = build_matrix(per_config, sources);
   ASSERT_EQ(matrix.size(), 2u);
-  EXPECT_EQ(matrix[0], (std::vector<bgp::LinkId>{0, 1}));
-  EXPECT_EQ(matrix[1], (std::vector<bgp::LinkId>{1, 0}));
+  const auto rows = matrix.to_rows();
+  EXPECT_EQ(rows[0], (std::vector<bgp::LinkId>{0, 1}));
+  EXPECT_EQ(rows[1], (std::vector<bgp::LinkId>{1, 0}));
 }
 
 TEST(Visibility, ImputationFollowsSmax) {
   // Sources 0 and 1 always share a catchment where both observed; source 1
   // is missing in the last configuration and must inherit source 0's cell.
-  CatchmentMatrix matrix = {
+  CatchmentStore matrix = CatchmentMatrix{
       {0, 0, 1},
       {1, 1, 1},
       {0, kMissing, 0},
   };
   impute_missing(matrix);
-  EXPECT_EQ(matrix[2][1], 0u);
+  EXPECT_EQ(matrix.link_at(2, 1), 0u);
 }
 
 TEST(Visibility, ImputationPrefersMostFrequentCompanion) {
   // Source 2 matches source 1 twice and source 0 once; missing cells take
   // source 1's value.
-  CatchmentMatrix matrix = {
+  CatchmentStore matrix = CatchmentMatrix{
       {0, 1, 1},
       {2, 3, 3},
       {4, 5, kMissing},
   };
   impute_missing(matrix);
-  EXPECT_EQ(matrix[2][2], 5u);
+  EXPECT_EQ(matrix.link_at(2, 2), 5u);
 }
 
 TEST(Visibility, NoCompanionLeavesCellMissing) {
   // Source 1 never shares a catchment with anyone: cell stays missing.
-  CatchmentMatrix matrix = {
+  CatchmentStore matrix = CatchmentMatrix{
       {0, 1},
       {0, kMissing},
   };
   // Companion source 0 never matched source 1 (0 vs 1), so frequency 0.
   impute_missing(matrix);
-  EXPECT_EQ(matrix[1][1], kMissing);
+  EXPECT_EQ(matrix.link_at(1, 1), kMissing);
 }
 
 TEST(Visibility, TwoPassImputationChains) {
   // Source 2's s_max is source 1, which itself needs imputation from
   // source 0 in config 1; the second pass completes the chain.
-  CatchmentMatrix matrix = {
+  CatchmentStore matrix = CatchmentMatrix{
       {0, 0, 0},
       {1, kMissing, kMissing},
   };
   impute_missing(matrix);
-  EXPECT_EQ(matrix[1][1], 1u);
-  EXPECT_EQ(matrix[1][2], 1u);
+  EXPECT_EQ(matrix.link_at(1, 1), 1u);
+  EXPECT_EQ(matrix.link_at(1, 2), 1u);
 }
 
 TEST(Visibility, EmptyMatrixIsFine) {
-  CatchmentMatrix empty;
+  CatchmentStore empty;
   EXPECT_NO_THROW(impute_missing(empty));
-  CatchmentMatrix no_sources = {{}};
+  CatchmentStore no_sources = CatchmentMatrix{{}};
   EXPECT_NO_THROW(impute_missing(no_sources));
 }
 

@@ -309,11 +309,11 @@ int cmd_attack(const std::vector<std::string>& args) {
   // attackers are a degenerate tie where any trajectory alternating
   // between their links is indistinguishable from a real source.
   std::vector<std::vector<double>> volumes;
-  for (const auto& row : artifact.matrix) {
+  for (const auto row : artifact.matrix) {
     std::vector<double> per_link(artifact.link_count, 0.0);
     for (std::size_t i = 0; i < attackers.size(); ++i) {
-      const bgp::LinkId link = row[attackers[i]];
-      if (link != bgp::kNoCatchment) {
+      const std::uint8_t link = row[attackers[i]];
+      if (link != bgp::kNoCatchment8 && link < per_link.size()) {
         per_link[link] += static_cast<double>(i + 1);
       }
     }
