@@ -42,6 +42,8 @@ struct CatchmentMap {
   std::vector<std::size_t> counts(std::size_t link_count) const;
   /// Number of ASes with any catchment.
   std::size_t routed_count() const noexcept;
+
+  friend bool operator==(const CatchmentMap&, const CatchmentMap&) = default;
 };
 
 /// Ground-truth catchments from a routing outcome.

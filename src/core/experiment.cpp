@@ -161,7 +161,8 @@ DeploymentResult PeeringTestbed::deploy(
   // Propagation runs through the campaign runner: memoized, ordered by
   // seed similarity, warm-started along per-worker chains (cold per-config
   // when warm_campaign is off). Outcomes are bit-identical either way; the
-  // sink runs the per-configuration measurement pipeline on disjoint slots.
+  // sink only extracts truth/compliance and snapshots measurement inputs,
+  // writing to disjoint slots.
   CampaignRunnerOptions runner;
   runner.warm_start = config_.warm_campaign;
 
@@ -170,8 +171,26 @@ DeploymentResult PeeringTestbed::deploy(
   // and are min-merged afterwards — min is order-independent, so the
   // result matches a per-config materialization without the n x as_count
   // temporary rows.
-  std::vector<std::vector<std::uint32_t>> chain_min_distance(
-      campaign_chain_count(n, runner));
+  const std::size_t chain_count = campaign_chain_count(n, runner);
+  std::vector<std::vector<std::uint32_t>> chain_min_distance(chain_count);
+
+  // Measurement inputs are snapshotted per configuration inside the sink;
+  // the heavy §IV pipeline itself runs in the measurement driver after
+  // propagation. Memoized fan-out delivers identical configurations
+  // consecutively per chain, so a one-deep per-chain cache lets them share
+  // one feed collection and one forwarding-path set.
+  struct OutcomeSnapshot {
+    bool valid = false;
+    std::vector<bgp::AnnouncementSpec> announcements;
+    std::shared_ptr<const std::vector<measure::FeedEntry>> feeds;
+    std::shared_ptr<const measure::ProbePathSet> probe_paths;
+  };
+  std::vector<measure::MeasurementTask> tasks;
+  std::vector<OutcomeSnapshot> chain_snapshot;
+  if (config_.measured_catchments) {
+    tasks.resize(n);
+    chain_snapshot.resize(chain_count);
+  }
 
   propagate_campaign(engine_, origin_, result.configs,
                      [&](std::size_t chain, std::size_t i,
@@ -202,20 +221,16 @@ DeploymentResult PeeringTestbed::deploy(
     }
 
     if (config_.measured_catchments) {
-      const auto feed_entries = feeds_.collect(outcome);
-      std::vector<measure::Traceroute> traces;
-      traces.reserve(probes_.size() * config_.traceroute_rounds);
-      for (topology::AsId probe : probes_) {
-        for (std::uint32_t round = 0; round < config_.traceroute_rounds;
-             ++round) {
-          traces.push_back(tracer_.run(
-              outcome, probe, origin_id_,
-              util::hash_combine(i, round)));
-        }
+      auto& snap = chain_snapshot[chain];
+      if (!snap.valid || snap.announcements != config.announcements) {
+        snap.valid = true;
+        snap.announcements = config.announcements;
+        snap.feeds = std::make_shared<const std::vector<measure::FeedEntry>>(
+            feeds_.collect(outcome));
+        snap.probe_paths = std::make_shared<const measure::ProbePathSet>(
+            measure::ProbePathSet::extract(outcome, probes_, origin_id_));
       }
-      OBS_COUNT("deploy.traceroutes", traces.size());
-      const auto paths = repair_.repair(traces, feed_entries);
-      result.measured[i] = inference_.infer(feed_entries, paths);
+      tasks[i] = {i, snap.feeds, snap.probe_paths};
     }
   }, runner);
 
@@ -228,6 +243,19 @@ DeploymentResult PeeringTestbed::deploy(
       result.min_route_distance[id] =
           std::min(result.min_route_distance[id], chain[id]);
     }
+  }
+
+  // The §IV measurement pipeline: embarrassingly parallel across
+  // configurations, fanned out by the driver (scratch reuse per worker,
+  // byte-identical for any worker count).
+  if (config_.measured_catchments && n > 0) {
+    measure::MeasurementDriverOptions driver_options;
+    driver_options.workers = config_.measure_workers;
+    driver_options.traceroute_rounds = config_.traceroute_rounds;
+    const measure::MeasurementDriver driver(tracer_, repair_, inference_,
+                                            probes_, origin_id_,
+                                            driver_options);
+    result.measured = driver.run(tasks);
   }
 
   // Analysis sources (§IV-d) and the catchment matrix.

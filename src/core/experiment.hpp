@@ -19,6 +19,7 @@
 #include "core/config_gen.hpp"
 #include "core/policy_audit.hpp"
 #include "measure/address_plan.hpp"
+#include "measure/driver.hpp"
 #include "measure/feed.hpp"
 #include "measure/inference.hpp"
 #include "measure/ip2as.hpp"
@@ -75,6 +76,11 @@ struct TestbedConfig {
   std::uint32_t traceroute_rounds = 3;   // rounds per configuration (§IV-b)
   std::uint32_t ixp_count = 12;
   double ixp_edge_fraction = 0.5;
+
+  /// Worker threads for the parallel measurement driver (0 = the
+  /// util::default_worker_count() default). Results are byte-identical for
+  /// any value.
+  std::size_t measure_workers = 0;
 
   /// true: catchments come from the measured pipeline (§IV); false: ground
   /// truth from the routing engine (for validation and ablations).

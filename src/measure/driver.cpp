@@ -1,0 +1,97 @@
+#include "measure/driver.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace spooftrack::measure {
+
+ProbePathSet ProbePathSet::extract(const bgp::RoutingOutcome& outcome,
+                                   std::span<const topology::AsId> probes,
+                                   topology::AsId origin) {
+  ProbePathSet set;
+  set.offsets.reserve(probes.size() + 1);
+  set.offsets.push_back(0);
+  for (topology::AsId probe : probes) {
+    const auto path = bgp::forwarding_path(outcome, probe, origin);
+    set.flat.insert(set.flat.end(), path.begin(), path.end());
+    set.offsets.push_back(static_cast<std::uint32_t>(set.flat.size()));
+  }
+  return set;
+}
+
+namespace {
+
+/// Everything one worker slot reuses across its tasks. Traceroute hop
+/// storage, repair indexes, and inference vote buffers reach a steady
+/// state after the first task; later tasks allocate only their results.
+struct SlotScratch {
+  std::vector<Traceroute> traces;
+  std::vector<AsLevelPath> repaired;
+  PathRepair::Scratch repair;
+  CatchmentInference::Scratch inference;
+};
+
+}  // namespace
+
+MeasurementDriver::MeasurementDriver(const TracerouteSim& tracer,
+                                     const PathRepair& repair,
+                                     const CatchmentInference& inference,
+                                     std::span<const topology::AsId> probes,
+                                     topology::AsId origin,
+                                     MeasurementDriverOptions options)
+    : tracer_(tracer),
+      repair_(repair),
+      inference_(inference),
+      probes_(probes),
+      origin_(origin),
+      options_(options) {}
+
+std::vector<InferenceResult> MeasurementDriver::run(
+    std::span<const MeasurementTask> tasks) const {
+  std::vector<InferenceResult> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  const std::size_t workers =
+      options_.workers == 0 ? util::default_worker_count() : options_.workers;
+  const std::size_t slots =
+      std::max<std::size_t>(1, std::min(workers, tasks.size()));
+  OBS_GAUGE("measure.driver.workers", slots);
+  OBS_COUNT("measure.driver.tasks", tasks.size());
+
+  const std::uint32_t rounds = options_.traceroute_rounds;
+  const std::size_t probe_count = probes_.size();
+  std::vector<SlotScratch> scratch(slots);
+
+  auto run_slot = [&](std::size_t slot) {
+    SlotScratch& s = scratch[slot];
+    for (std::size_t t = slot; t < tasks.size(); t += slots) {
+      OBS_TIMER("measure.driver.config_ns");
+      const MeasurementTask& task = tasks[t];
+      if (s.traces.size() != probe_count * rounds) {
+        s.traces.resize(probe_count * rounds);
+      }
+      std::size_t k = 0;
+      for (std::size_t p = 0; p < probe_count; ++p) {
+        const auto path = task.probe_paths->path(p);
+        for (std::uint32_t round = 0; round < rounds; ++round) {
+          tracer_.run_on_path(path, probes_[p], origin_,
+                              util::hash_combine(task.config_index, round),
+                              s.traces[k++]);
+        }
+      }
+      OBS_COUNT("measure.driver.traceroutes", s.traces.size());
+      repair_.repair(s.traces, *task.feeds, s.repair, s.repaired);
+      results[t] = inference_.infer(*task.feeds, s.repaired, s.inference);
+    }
+  };
+
+  // slots - 1 pool threads; the calling thread claims the remaining slot.
+  util::WorkerPool pool(slots - 1);
+  pool.run(slots, run_slot);
+  return results;
+}
+
+}  // namespace spooftrack::measure

@@ -1,0 +1,88 @@
+// Parallel measurement plane (§IV): runs the per-configuration pipeline —
+// feed snapshot -> traceroute batch -> §IV-b repair -> catchment inference
+// — as independent tasks over a util::WorkerPool.
+//
+// Determinism contract: every random draw in the pipeline derives from
+// (traceroute seed, salt = hash_combine(config index, round)), so a task's
+// result depends on nothing but the task itself. Tasks fan out over worker
+// *slots* in a fixed stride — slot s runs tasks s, s + slots, ... with its
+// own scratch, writing each result into the task's own output slot — so
+// results are byte-identical for any worker count and arrive in task
+// order. (WorkerPool claims work dynamically; striding over slots instead
+// of tasks is what keeps scratch ownership deterministic.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "measure/feed.hpp"
+#include "measure/inference.hpp"
+#include "measure/repair.hpp"
+#include "measure/traceroute.hpp"
+#include "topology/as_graph.hpp"
+
+namespace spooftrack::measure {
+
+/// Per-probe forwarding paths under one routing outcome, flattened. The
+/// snapshot deliberately does not retain the RoutingOutcome: warm campaign
+/// chains may move or compact outcome storage after the sink returns, and
+/// the paths are all the measurement plane needs from it.
+struct ProbePathSet {
+  std::vector<topology::AsId> flat;
+  std::vector<std::uint32_t> offsets;  // probes.size() + 1 fenceposts
+
+  std::span<const topology::AsId> path(std::size_t probe_index) const {
+    return std::span(flat).subspan(
+        offsets[probe_index], offsets[probe_index + 1] - offsets[probe_index]);
+  }
+
+  /// Walks bgp::forwarding_path once per probe. An unrouted probe stores an
+  /// empty path (its traceroute dies at the probe gateway, as with run()).
+  static ProbePathSet extract(const bgp::RoutingOutcome& outcome,
+                              std::span<const topology::AsId> probes,
+                              topology::AsId origin);
+};
+
+/// One configuration's measurement inputs, snapshotted at propagation time.
+/// Configurations with identical routing outcomes (campaign memoization
+/// fan-out) share one feed collection and one path set.
+struct MeasurementTask {
+  std::size_t config_index = 0;  // traceroute salt = (config_index, round)
+  std::shared_ptr<const std::vector<FeedEntry>> feeds;
+  std::shared_ptr<const ProbePathSet> probe_paths;
+};
+
+struct MeasurementDriverOptions {
+  /// Worker threads (0 = util::default_worker_count()). Any value yields
+  /// byte-identical results.
+  std::size_t workers = 0;
+  /// Traceroute rounds per configuration (§IV-b).
+  std::uint32_t traceroute_rounds = 3;
+};
+
+class MeasurementDriver {
+ public:
+  /// The referenced components and probe list must outlive the driver.
+  MeasurementDriver(const TracerouteSim& tracer, const PathRepair& repair,
+                    const CatchmentInference& inference,
+                    std::span<const topology::AsId> probes,
+                    topology::AsId origin,
+                    MeasurementDriverOptions options = {});
+
+  /// Runs the measurement pipeline for every task; results in task order.
+  std::vector<InferenceResult> run(
+      std::span<const MeasurementTask> tasks) const;
+
+ private:
+  const TracerouteSim& tracer_;
+  const PathRepair& repair_;
+  const CatchmentInference& inference_;
+  std::span<const topology::AsId> probes_;
+  topology::AsId origin_;
+  MeasurementDriverOptions options_;
+};
+
+}  // namespace spooftrack::measure

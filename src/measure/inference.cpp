@@ -24,11 +24,20 @@ CatchmentInference::CatchmentInference(const topology::AsGraph& graph,
 InferenceResult CatchmentInference::infer(
     std::span<const FeedEntry> feeds,
     std::span<const AsLevelPath> traces) const {
+  Scratch scratch;
+  return infer(feeds, traces, scratch);
+}
+
+InferenceResult CatchmentInference::infer(std::span<const FeedEntry> feeds,
+                                          std::span<const AsLevelPath> traces,
+                                          Scratch& scratch) const {
   OBS_TIMER("measure.inference.infer_ns");
   const std::size_t link_count = origin_.links.size();
   // Vote counts per AS: [link * 2 + type], type 0 = BGP, type 1 = trace.
-  std::vector<std::uint16_t> votes(graph_.size() * link_count * 2, 0);
-  std::vector<std::uint8_t> observed(graph_.size(), 0);
+  std::vector<std::uint16_t>& votes = scratch.votes;
+  votes.assign(graph_.size() * link_count * 2, 0);
+  std::vector<std::uint8_t>& observed = scratch.observed;
+  observed.assign(graph_.size(), 0);
 
   auto add_votes = [&](std::span<const topology::Asn> path, int type) {
     const auto link = link_from_as_path(path, origin_);
@@ -41,7 +50,13 @@ InferenceResult CatchmentInference::infer(
       observed[*id] = 1;
       auto& count =
           votes[(*id * link_count + *link) * 2 + static_cast<std::size_t>(type)];
-      if (count < std::numeric_limits<std::uint16_t>::max()) ++count;
+      if (count < std::numeric_limits<std::uint16_t>::max()) {
+        ++count;
+      } else {
+        // The u16 ceiling can silently flatten majorities on pathological
+        // batches; surface it instead of absorbing it.
+        OBS_COUNT("measure.inference.votes_saturated", 1);
+      }
     }
   };
 

@@ -36,16 +36,31 @@ struct InferenceResult {
   /// Fraction of observed ASes whose votes named more than one catchment
   /// (the paper reports 2.28% on the real Internet).
   double multi_catchment_fraction = 0.0;
+
+  friend bool operator==(const InferenceResult&,
+                         const InferenceResult&) = default;
 };
 
 class CatchmentInference {
  public:
+  /// Reusable vote-accumulation buffers; one per worker. Reuse across
+  /// infer() calls never changes results (each call resets the buffers).
+  struct Scratch {
+    std::vector<std::uint16_t> votes;
+    std::vector<std::uint8_t> observed;
+  };
+
   CatchmentInference(const topology::AsGraph& graph,
                      const bgp::OriginSpec& origin);
 
   /// Infers catchments for one configuration from its measurements.
   InferenceResult infer(std::span<const FeedEntry> feeds,
                         std::span<const AsLevelPath> traces) const;
+
+  /// As above, reusing `scratch` instead of allocating vote buffers.
+  InferenceResult infer(std::span<const FeedEntry> feeds,
+                        std::span<const AsLevelPath> traces,
+                        Scratch& scratch) const;
 
  private:
   const topology::AsGraph& graph_;

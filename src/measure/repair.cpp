@@ -11,89 +11,145 @@ namespace spooftrack::measure {
 namespace {
 
 // Maximum gap width considered by the substitution steps.
-constexpr std::size_t kWindow = 5;
+constexpr std::size_t kWindow = PathRepair::kSubstitutionWindow;
 
 std::uint64_t pack(std::uint64_t a, std::uint64_t b) noexcept {
   return (a << 32) | (b & 0xFFFFFFFFULL);
 }
 
-template <typename T>
-struct SeqEntry {
-  std::vector<T> seq;
+/// An interior sequence stored as a slice of a batch-wide pool instead of
+/// an owned vector: index building is the hottest part of repair, and
+/// per-entry vector allocations dominated it.
+struct SeqRef {
+  std::uint32_t offset = 0;
+  std::uint32_t len = 0;
   bool conflict = false;
 };
 
-/// Records `interior` for key (a, b); marks the key conflicting when a
-/// different interior was seen before.
+using SeqMap = std::unordered_map<std::uint64_t, SeqRef>;
+
+/// Records the pool slice [offset, offset + len) for `key`; marks the key
+/// conflicting when a different interior was seen before.
 template <typename T>
-void record(std::unordered_map<std::uint64_t, SeqEntry<T>>& map,
-            std::uint64_t key, const std::vector<T>& interior) {
-  const auto it = map.find(key);
-  if (it == map.end()) {
-    map.emplace(key, SeqEntry<T>{interior});
-    return;
-  }
-  if (!it->second.conflict && it->second.seq != interior) {
-    it->second.conflict = true;
+void record(SeqMap& map, const std::vector<T>& pool, std::uint64_t key,
+            std::uint32_t offset, std::uint32_t len) {
+  const auto [it, inserted] = map.try_emplace(key, SeqRef{offset, len, false});
+  if (inserted) return;
+  SeqRef& ref = it->second;
+  if (ref.conflict) return;
+  if (ref.len != len ||
+      !std::equal(pool.begin() + ref.offset, pool.begin() + ref.offset + ref.len,
+                  pool.begin() + offset)) {
+    ref.conflict = true;
   }
 }
 
-using AddrSeqMap =
-    std::unordered_map<std::uint64_t, SeqEntry<netcore::Ipv4Addr>>;
-using AsnSeqMap = std::unordered_map<std::uint64_t, SeqEntry<topology::Asn>>;
+}  // namespace
+
+/// All repair intermediates: step-2/step-4 indexes with their sequence
+/// pools, plus per-trace buffers. Everything is reset per batch; capacity
+/// persists across batches.
+struct PathRepair::Scratch::Impl {
+  SeqMap address_index;                     // step 2, into address_pool
+  std::vector<netcore::Ipv4Addr> address_pool;
+  SeqMap feed_index;                        // step 4, into asn_pool
+  std::vector<topology::Asn> asn_pool;
+  std::vector<topology::Asn> collapsed;     // feed-path collapse buffer
+  std::vector<TracerouteHop> substituted;   // step-2 output per trace
+  std::vector<std::optional<topology::Asn>> mapped;  // step-1 per trace
+  std::vector<topology::Asn> as_hops;       // steps 3-4 per trace
+
+  // Step-1 LPM memo. ip2as lookups are pure, and measurement batches hit
+  // the same router addresses over and over, so unlike the indexes above
+  // this cache survives across batches — unless the scratch is reused
+  // against a different Ip2AsMap, which invalidates it.
+  const Ip2AsMap* memo_for = nullptr;
+  std::unordered_map<std::uint32_t, std::optional<topology::Asn>> ip2as_memo;
+};
+
+PathRepair::Scratch::Scratch() : impl_(std::make_unique<Impl>()) {}
+PathRepair::Scratch::~Scratch() = default;
+PathRepair::Scratch::Scratch(Scratch&&) noexcept = default;
+PathRepair::Scratch& PathRepair::Scratch::operator=(Scratch&&) noexcept =
+    default;
+
+namespace {
+
+using ScratchImpl = PathRepair::Scratch::Impl;
 
 /// Step-2 index: responsive address sequences between pairs of responsive
-/// addresses, across all traceroutes of the batch.
-AddrSeqMap build_address_index(std::span<const Traceroute> traces) {
-  AddrSeqMap map;
+/// addresses, across all traceroutes of the batch. Every maximal
+/// responsive run is appended to the pool once; the recorded interiors are
+/// slices of it.
+void build_address_index(std::span<const Traceroute> traces, ScratchImpl& s) {
+  s.address_index.clear();
+  s.address_pool.clear();
   for (const Traceroute& trace : traces) {
     const auto& hops = trace.hops;
-    for (std::size_t i = 0; i < hops.size(); ++i) {
-      if (!hops[i].responsive()) continue;
-      std::vector<netcore::Ipv4Addr> interior;
-      for (std::size_t j = i + 1; j < hops.size() && j - i <= kWindow + 1;
-           ++j) {
-        if (!hops[j].responsive()) break;  // interior must stay responsive
-        record(map, pack(hops[i].address->value(), hops[j].address->value()),
-               interior);
-        interior.push_back(*hops[j].address);
+    std::size_t i = 0;
+    while (i < hops.size()) {
+      if (!hops[i].responsive()) {
+        ++i;
+        continue;
       }
+      // Maximal responsive run [i, end).
+      const auto base = static_cast<std::uint32_t>(s.address_pool.size());
+      std::size_t end = i;
+      while (end < hops.size() && hops[end].responsive()) {
+        s.address_pool.push_back(*hops[end].address);
+        ++end;
+      }
+      for (std::size_t a = i; a < end; ++a) {
+        for (std::size_t b = a + 1; b < end && b - a <= kWindow + 1; ++b) {
+          record(s.address_index, s.address_pool,
+                 pack(hops[a].address->value(), hops[b].address->value()),
+                 base + static_cast<std::uint32_t>(a - i) + 1,
+                 static_cast<std::uint32_t>(b - a - 1));
+        }
+      }
+      i = end;
     }
   }
-  return map;
 }
 
 /// Step-4 index: unique AS sequences between AS pairs in feed paths.
-AsnSeqMap build_feed_index(std::span<const FeedEntry> feeds,
-                           topology::Asn origin_asn) {
-  AsnSeqMap map;
+void build_feed_index(std::span<const FeedEntry> feeds,
+                      topology::Asn origin_asn, ScratchImpl& s) {
+  s.feed_index.clear();
+  s.asn_pool.clear();
   for (const FeedEntry& feed : feeds) {
     // Collapse prepending before indexing.
-    std::vector<topology::Asn> path;
+    auto& path = s.collapsed;
+    path.clear();
     for (topology::Asn asn : feed.as_path) {
       if (path.empty() || path.back() != asn) path.push_back(asn);
     }
+    const auto base = static_cast<std::uint32_t>(s.asn_pool.size());
+    s.asn_pool.insert(s.asn_pool.end(), path.begin(), path.end());
     for (std::size_t i = 0; i < path.size(); ++i) {
-      std::vector<topology::Asn> interior;
       for (std::size_t j = i + 1; j < path.size() && j - i <= kWindow + 1;
            ++j) {
         // Interiors crossing the origin (poison sandwiches) are artifacts
         // of the announcement encoding, not real topology.
-        if (j >= 1 && j - i >= 2 && path[j - 1] == origin_asn) break;
-        record(map, pack(path[i], path[j]), interior);
-        interior.push_back(path[j]);
+        if (j - i >= 2 && path[j - 1] == origin_asn) break;
+        record(s.feed_index, s.asn_pool, pack(path[i], path[j]),
+               base + static_cast<std::uint32_t>(i) + 1,
+               static_cast<std::uint32_t>(j - i - 1));
       }
     }
   }
-  return map;
 }
 
 /// Applies step 2 to one trace: substitutes unresponsive runs using the
-/// batch-wide address index.
-std::vector<TracerouteHop> substitute_unresponsive(
-    const std::vector<TracerouteHop>& hops, const AddrSeqMap& index) {
-  std::vector<TracerouteHop> out;
+/// batch-wide address index. Writes into `out`; returns the number of runs
+/// substituted.
+std::size_t substitute_unresponsive(const std::vector<TracerouteHop>& hops,
+                                    const SeqMap& index,
+                                    const std::vector<netcore::Ipv4Addr>& pool,
+                                    std::vector<TracerouteHop>& out) {
+  out.clear();
   out.reserve(hops.size());
+  std::size_t substitutions = 0;
   std::size_t i = 0;
   while (i < hops.size()) {
     if (hops[i].responsive()) {
@@ -111,10 +167,12 @@ std::vector<TracerouteHop> substitute_unresponsive(
       const auto it = index.find(pack(out.back().address->value(),
                                       hops[j].address->value()));
       if (it != index.end() && !it->second.conflict) {
-        for (netcore::Ipv4Addr addr : it->second.seq) {
-          out.push_back({addr});
+        const SeqRef& ref = it->second;
+        for (std::uint32_t k = 0; k < ref.len; ++k) {
+          out.push_back({pool[ref.offset + k]});
         }
         substituted = true;
+        ++substitutions;
       }
     }
     if (!substituted) {
@@ -122,26 +180,27 @@ std::vector<TracerouteHop> substitute_unresponsive(
     }
     i = j;
   }
-  return out;
+  return substitutions;
 }
 
-}  // namespace
-
-PathRepair::PathRepair(const topology::AsGraph& graph, const Ip2AsMap& ip2as,
-                       const IxpTable& ixps, topology::Asn origin_asn)
-    : graph_(graph), ip2as_(ip2as), ixps_(ixps), origin_asn_(origin_asn) {}
-
-namespace {
-
-/// Steps 1, 3, 5: map hops to ASes, bridge unknown runs, collapse.
+/// Steps 1, 3, 5: map hops to ASes, bridge unknown runs, collapse. The
+/// feed index (step 4) is optional; `mapped` and `as_hops` are reused
+/// buffers. Increments *feed_bridges per gap bridged from feeds.
 AsLevelPath finish_mapping(const topology::AsGraph& graph,
                            const Ip2AsMap& ip2as, const IxpTable& ixps,
                            topology::Asn origin_asn, topology::AsId probe,
                            const std::vector<TracerouteHop>& hops,
-                           const AsnSeqMap* feed_index) {
+                           const SeqMap* feed_index,
+                           const std::vector<topology::Asn>& asn_pool,
+                           std::vector<std::optional<topology::Asn>>& mapped,
+                           std::vector<topology::Asn>& as_hops,
+                           std::size_t* feed_bridges,
+                           std::unordered_map<std::uint32_t,
+                                              std::optional<topology::Asn>>*
+                               ip2as_memo) {
   // Step 1: per-hop AS (nullopt = unresponsive or unmapped); IXP hops are
   // dropped entirely (they belong to the fabric, not an AS).
-  std::vector<std::optional<topology::Asn>> mapped;
+  mapped.clear();
   mapped.reserve(hops.size());
   for (const TracerouteHop& hop : hops) {
     if (!hop.responsive()) {
@@ -149,11 +208,18 @@ AsLevelPath finish_mapping(const topology::AsGraph& graph,
       continue;
     }
     if (ixps.is_ixp_address(*hop.address)) continue;
-    mapped.push_back(ip2as.lookup(*hop.address));
+    if (ip2as_memo != nullptr) {
+      const auto [it, inserted] =
+          ip2as_memo->try_emplace(hop.address->value());
+      if (inserted) it->second = ip2as.lookup(*hop.address);
+      mapped.push_back(it->second);
+    } else {
+      mapped.push_back(ip2as.lookup(*hop.address));
+    }
   }
 
   // Steps 3 and 4: bridge unknown runs between known ASes.
-  std::vector<topology::Asn> as_hops;
+  as_hops.clear();
   std::size_t i = 0;
   while (i < mapped.size()) {
     if (mapped[i]) {
@@ -173,7 +239,11 @@ AsLevelPath finish_mapping(const topology::AsGraph& graph,
       } else if (feed_index != nullptr && j - i <= kWindow) {
         const auto it = feed_index->find(pack(left, right));
         if (it != feed_index->end() && !it->second.conflict) {
-          for (topology::Asn asn : it->second.seq) as_hops.push_back(asn);
+          const SeqRef& ref = it->second;
+          for (std::uint32_t k = 0; k < ref.len; ++k) {
+            as_hops.push_back(asn_pool[ref.offset + k]);
+          }
+          if (feed_bridges != nullptr) ++*feed_bridges;
         }
         // No unique sequence: hops stay dropped (step 5).
       }
@@ -194,27 +264,54 @@ AsLevelPath finish_mapping(const topology::AsGraph& graph,
 
 }  // namespace
 
+PathRepair::PathRepair(const topology::AsGraph& graph, const Ip2AsMap& ip2as,
+                       const IxpTable& ixps, topology::Asn origin_asn)
+    : graph_(graph), ip2as_(ip2as), ixps_(ixps), origin_asn_(origin_asn) {}
+
 AsLevelPath PathRepair::map_only(const Traceroute& trace) const {
+  std::vector<std::optional<topology::Asn>> mapped;
+  std::vector<topology::Asn> as_hops;
   return finish_mapping(graph_, ip2as_, ixps_, origin_asn_, trace.probe,
-                        trace.hops, nullptr);
+                        trace.hops, nullptr, {}, mapped, as_hops, nullptr,
+                        nullptr);
 }
 
 std::vector<AsLevelPath> PathRepair::repair(
     std::span<const Traceroute> traces,
     std::span<const FeedEntry> feeds) const {
+  Scratch scratch;
+  std::vector<AsLevelPath> out;
+  repair(traces, feeds, scratch, out);
+  return out;
+}
+
+void PathRepair::repair(std::span<const Traceroute> traces,
+                        std::span<const FeedEntry> feeds, Scratch& scratch,
+                        std::vector<AsLevelPath>& out) const {
   OBS_TIMER("measure.repair.batch_ns");
   OBS_COUNT("measure.repair.traces", traces.size());
-  const AddrSeqMap address_index = build_address_index(traces);
-  const AsnSeqMap feed_index = build_feed_index(feeds, origin_asn_);
-
-  std::vector<AsLevelPath> out;
-  out.reserve(traces.size());
-  for (const Traceroute& trace : traces) {
-    const auto hops = substitute_unresponsive(trace.hops, address_index);
-    out.push_back(finish_mapping(graph_, ip2as_, ixps_, origin_asn_,
-                                 trace.probe, hops, &feed_index));
+  Scratch::Impl& s = *scratch.impl_;
+  build_address_index(traces, s);
+  build_feed_index(feeds, origin_asn_, s);
+  if (s.memo_for != &ip2as_) {
+    s.ip2as_memo.clear();
+    s.memo_for = &ip2as_;
   }
-  return out;
+
+  out.clear();
+  out.reserve(traces.size());
+  std::size_t substitutions = 0;
+  std::size_t feed_bridges = 0;
+  for (const Traceroute& trace : traces) {
+    substitutions += substitute_unresponsive(trace.hops, s.address_index,
+                                             s.address_pool, s.substituted);
+    out.push_back(finish_mapping(graph_, ip2as_, ixps_, origin_asn_,
+                                 trace.probe, s.substituted, &s.feed_index,
+                                 s.asn_pool, s.mapped, s.as_hops,
+                                 &feed_bridges, &s.ip2as_memo));
+  }
+  OBS_COUNT("measure.repair.substitutions", substitutions);
+  OBS_COUNT("measure.repair.feed_bridges", feed_bridges);
 }
 
 }  // namespace spooftrack::measure

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,30 @@ struct AsLevelPath {
 
 class PathRepair {
  public:
+  /// Maximum gap width (in hops) the substitution steps bridge. A run of
+  /// exactly this many unresponsive hops between responsive anchors is
+  /// still substitutable; one more never is.
+  static constexpr std::size_t kSubstitutionWindow = 5;
+
+  /// Reusable per-batch working memory: the step-2/step-4 indexes, their
+  /// backing sequence pools, and the per-trace mapping buffers. A Scratch
+  /// may be reused across any number of repair() batches (each batch
+  /// resets it) but must not be shared between concurrent calls; results
+  /// are identical to a fresh Scratch. Contents are opaque.
+  class Scratch {
+   public:
+    Scratch();
+    ~Scratch();
+    Scratch(Scratch&&) noexcept;
+    Scratch& operator=(Scratch&&) noexcept;
+
+    struct Impl;  // defined in repair.cpp
+
+   private:
+    friend class PathRepair;
+    std::unique_ptr<Impl> impl_;
+  };
+
   PathRepair(const topology::AsGraph& graph, const Ip2AsMap& ip2as,
              const IxpTable& ixps, topology::Asn origin_asn);
 
@@ -45,6 +70,13 @@ class PathRepair {
   std::vector<AsLevelPath> repair(
       std::span<const Traceroute> traces,
       std::span<const FeedEntry> feeds) const;
+
+  /// As above, reusing `scratch` for all intermediate state and writing the
+  /// repaired paths into `out` (replaced, capacity reused). This is the
+  /// allocation-free steady-state form the measurement driver uses.
+  void repair(std::span<const Traceroute> traces,
+              std::span<const FeedEntry> feeds, Scratch& scratch,
+              std::vector<AsLevelPath>& out) const;
 
   /// Single-trace AS mapping without cross-trace substitution (steps 1, 3,
   /// 5 only); exposed for tests and diagnostics.

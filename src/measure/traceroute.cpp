@@ -20,18 +20,36 @@ double unit_hash(std::uint64_t a, std::uint64_t b, std::uint64_t c,
 TracerouteSim::TracerouteSim(const topology::AsGraph& graph,
                              const AddressPlan& plan, const IxpTable& ixps,
                              const TracerouteOptions& options)
-    : graph_(graph), plan_(plan), ixps_(ixps), options_(options) {}
+    : graph_(graph), plan_(plan), ixps_(ixps), options_(options) {
+  // Silent ASes are a persistent property of (seed, AS); precomputing the
+  // bitmap keeps the per-hop path out of the hash.
+  silent_.resize(graph_.size());
+  for (topology::AsId id = 0; id < graph_.size(); ++id) {
+    silent_[id] =
+        unit_hash(options_.seed, 0xA5, id, 0) < options_.as_silent_prob;
+  }
+}
 
 bool TracerouteSim::as_silent(topology::AsId id) const noexcept {
-  return unit_hash(options_.seed, 0xA5, id, 0) < options_.as_silent_prob;
+  return id < silent_.size() && silent_[id] != 0;
 }
 
 Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
                               topology::AsId probe, topology::AsId origin,
                               std::uint64_t salt) const {
-  OBS_COUNT("measure.traceroute.runs", 1);
   Traceroute trace;
+  const auto path = bgp::forwarding_path(outcome, probe, origin);
+  run_on_path(path, probe, origin, salt, trace);
+  return trace;
+}
+
+void TracerouteSim::run_on_path(std::span<const topology::AsId> path,
+                                topology::AsId probe, topology::AsId origin,
+                                std::uint64_t salt, Traceroute& trace) const {
+  OBS_COUNT("measure.traceroute.runs", 1);
   trace.probe = probe;
+  trace.hops.clear();
+  trace.reached = false;
 
   auto transient_lost = [&](std::uint64_t hop_index) {
     return unit_hash(options_.seed, salt ^ 0x7C, probe, hop_index) <
@@ -47,12 +65,12 @@ Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
     }
   };
 
-  const auto path = bgp::forwarding_path(outcome, probe, origin);
   if (path.empty()) {
     // No route: the trace dies after the probe's own gateway.
     emit(probe, plan_.router_address(probe, 0));
+    OBS_COUNT("measure.traceroute.incomplete", 1);
     OBS_HIST("measure.traceroute.hops", "hops", trace.hops.size());
-    return trace;
+    return;
   }
 
   for (std::size_t i = 0; i < path.size(); ++i) {
@@ -77,13 +95,21 @@ Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
       }
     }
 
-    // Internal routers before the egress (skip inside the last AS before
-    // the origin only when it has none to show).
-    const double extra_draw = unit_hash(options_.seed, 0xC1, as, probe);
-    const std::uint32_t extra =
-        extra_draw < options_.extra_internal_hops ? 1u : 0u;
-    for (std::uint32_t r = 1; r <= extra; ++r) {
-      emit(as, plan_.router_address(as, r));
+    // Internal routers before the egress. Whether a trace catches one is a
+    // transient property of the round, so the draw is salted like hop loss.
+    // The last AS before the origin shows none: its egress toward the
+    // experiment prefix is the target itself, which answers as the
+    // destination hop below.
+    const bool last_before_origin =
+        i + 1 < path.size() && path[i + 1] == origin;
+    if (!last_before_origin) {
+      const double extra_draw =
+          unit_hash(options_.seed, salt ^ 0xC1, as, probe);
+      const std::uint32_t extra =
+          extra_draw < options_.extra_internal_hops ? 1u : 0u;
+      for (std::uint32_t r = 1; r <= extra; ++r) {
+        emit(as, plan_.router_address(as, r));
+      }
     }
   }
 
@@ -96,8 +122,8 @@ Traceroute TracerouteSim::run(const bgp::RoutingOutcome& outcome,
     trace.hops.push_back({AddressPlan::experiment_target()});
     trace.reached = true;
   }
+  if (!trace.reached) OBS_COUNT("measure.traceroute.incomplete", 1);
   OBS_HIST("measure.traceroute.hops", "hops", trace.hops.size());
-  return trace;
 }
 
 }  // namespace spooftrack::measure

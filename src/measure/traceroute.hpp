@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bgp/engine.hpp"
@@ -58,6 +59,16 @@ class TracerouteSim {
   Traceroute run(const bgp::RoutingOutcome& outcome, topology::AsId probe,
                  topology::AsId origin, std::uint64_t salt) const;
 
+  /// Runs one traceroute along a precomputed forwarding path (the result of
+  /// bgp::forwarding_path(outcome, probe, origin)), writing hops into
+  /// `trace` (previous contents are discarded; hop storage is reused).
+  /// Callers measuring many rounds per configuration walk the routing
+  /// outcome once and replay the path here; equivalent to run() for the
+  /// same (path, salt). Thread-safe.
+  void run_on_path(std::span<const topology::AsId> path, topology::AsId probe,
+                   topology::AsId origin, std::uint64_t salt,
+                   Traceroute& trace) const;
+
   /// Whether an AS is persistently silent under this option seed.
   bool as_silent(topology::AsId id) const noexcept;
 
@@ -66,6 +77,7 @@ class TracerouteSim {
   const AddressPlan& plan_;
   const IxpTable& ixps_;
   TracerouteOptions options_;
+  std::vector<std::uint8_t> silent_;  // per-AsId persistent silence bitmap
 };
 
 }  // namespace spooftrack::measure

@@ -1,5 +1,6 @@
 #include "measure/verfploeter.hpp"
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace spooftrack::measure {
@@ -10,12 +11,35 @@ double unit_hash(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
              util::hash_combine(util::hash_combine(a, b), c) >> 11) *
          0x1.0p-53;
 }
+
+/// Clamps nonsensical options into their valid ranges rather than letting
+/// them silently zero out coverage (rounds == 0 probed nothing at all).
+VerfploeterOptions validated(VerfploeterOptions options) {
+  bool clamped = false;
+  if (options.rounds == 0) {
+    options.rounds = 1;
+    clamped = true;
+  }
+  const auto clamp01 = [&](double& p) {
+    if (!(p >= 0.0)) {  // also catches NaN
+      p = 0.0;
+      clamped = true;
+    } else if (p > 1.0) {
+      p = 1.0;
+      clamped = true;
+    }
+  };
+  clamp01(options.responsive_prob);
+  clamp01(options.loss_prob);
+  if (clamped) OBS_COUNT("measure.verfploeter.options_clamped", 1);
+  return options;
+}
 }  // namespace
 
 VerfploeterProber::VerfploeterProber(const topology::AsGraph& graph,
                                      const AddressPlan& plan,
                                      const VerfploeterOptions& options)
-    : graph_(graph), plan_(plan), options_(options) {}
+    : graph_(graph), plan_(plan), options_(validated(options)) {}
 
 bool VerfploeterProber::responsive(topology::AsId id) const noexcept {
   return unit_hash(options_.seed, 0xEC40, id) < options_.responsive_prob;

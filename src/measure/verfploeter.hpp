@@ -32,6 +32,8 @@ struct VerfploeterOptions {
   /// Per-round transient loss probability (probe or reply dropped).
   double loss_prob = 0.03;
   /// Probe rounds per configuration (losses are re-tried across rounds).
+  /// Must be >= 1; the prober clamps 0 to 1 (counted via obs) because zero
+  /// rounds would silently measure nothing.
   std::uint32_t rounds = 2;
   std::uint64_t seed = 4242;
 };

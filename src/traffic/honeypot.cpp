@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace spooftrack::traffic {
 
 AmpPotHoneypot::AmpPotHoneypot(std::size_t link_count,
@@ -28,6 +30,10 @@ void AmpPotHoneypot::receive(bgp::LinkId link,
   if (victim.packets == 0) {
     victim.victim = ip->source;
     victim.first_seen = timestamp;
+  } else {
+    // Capture replay and multi-link merge deliver packets out of order;
+    // the observation window must not depend on arrival order.
+    victim.first_seen = std::min(victim.first_seen, timestamp);
   }
   ++victim.packets;
   victim.last_seen = std::max(victim.last_seen, timestamp);
@@ -46,6 +52,12 @@ void AmpPotHoneypot::receive(bgp::LinkId link,
         bucket_tokens_ +
             (timestamp - bucket_updated_) * options_.response_rate_limit_pps);
     bucket_updated_ = timestamp;
+  } else if (timestamp < bucket_updated_) {
+    // Out-of-order arrival: charge the bucket at its current fill instead
+    // of rewinding the refill clock (which would double-grant tokens when
+    // time catches back up).
+    ++out_of_order_;
+    OBS_COUNT("traffic.honeypot.out_of_order", 1);
   }
   if (bucket_tokens_ >= 1.0) {
     bucket_tokens_ -= 1.0;

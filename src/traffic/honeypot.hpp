@@ -33,7 +33,9 @@ class AmpPotHoneypot {
 
   /// Ingests one packet arriving on `link` at `timestamp` seconds.
   /// Malformed datagrams (bad checksum, not UDP) are counted separately
-  /// and otherwise ignored.
+  /// and otherwise ignored. Timestamps need not be monotone (multi-link
+  /// capture merge): victim windows are min/max-merged and the response
+  /// token bucket never rewinds; out-of-order arrivals are counted.
   void receive(bgp::LinkId link, const netcore::Datagram& datagram,
                double timestamp);
 
@@ -41,6 +43,10 @@ class AmpPotHoneypot {
   std::uint64_t bytes_on(bgp::LinkId link) const noexcept;
   std::uint64_t total_packets() const noexcept;
   std::uint64_t malformed_packets() const noexcept { return malformed_; }
+  /// Packets whose timestamp preceded an already-processed packet's.
+  std::uint64_t out_of_order_packets() const noexcept {
+    return out_of_order_;
+  }
 
   /// Per-link share of received packets (sums to 1 when any arrived).
   std::vector<double> volume_by_link() const;
@@ -70,6 +76,7 @@ class AmpPotHoneypot {
   std::vector<std::uint64_t> packets_;
   std::vector<std::uint64_t> bytes_;
   std::uint64_t malformed_ = 0;
+  std::uint64_t out_of_order_ = 0;
   std::uint64_t responses_sent_ = 0;
   std::uint64_t responses_suppressed_ = 0;
   std::uint64_t reflection_avoided_ = 0;

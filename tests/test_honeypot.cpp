@@ -87,6 +87,45 @@ TEST(Honeypot, AttackDetectionThreshold) {
   EXPECT_DOUBLE_EQ(attacks[0].last_seen, 1.4);
 }
 
+TEST(Honeypot, OutOfOrderTimestampsMergeVictimWindow) {
+  HoneypotOptions options;
+  options.attack_min_packets = 1;
+  AmpPotHoneypot pot(1, options);
+  pot.receive(0, query(kVictimA), 5.0);
+  pot.receive(0, query(kVictimA), 2.0);  // late delivery from another tap
+  pot.receive(0, query(kVictimA), 9.0);
+  EXPECT_EQ(pot.out_of_order_packets(), 1u);
+  const auto attacks = pot.attacks();
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].packets, 3u);
+  EXPECT_DOUBLE_EQ(attacks[0].first_seen, 2.0);
+  EXPECT_DOUBLE_EQ(attacks[0].last_seen, 9.0);
+}
+
+TEST(Honeypot, OutOfOrderTimestampDoesNotRewindTokenBucket) {
+  HoneypotOptions options;
+  options.response_rate_limit_pps = 1.0;  // bucket starts with one token
+  AmpPotHoneypot pot(1, options);
+  pot.receive(0, query(kVictimA), 10.0);  // spends the token
+  EXPECT_EQ(pot.responses_sent(), 1u);
+  // An out-of-order packet must neither crash nor re-grant tokens by
+  // rewinding the refill clock.
+  pot.receive(0, query(kVictimA), 0.0);
+  EXPECT_EQ(pot.responses_sent(), 1u);
+  EXPECT_EQ(pot.responses_suppressed(), 1u);
+  EXPECT_EQ(pot.out_of_order_packets(), 1u);
+  // Time moving forward refills from the un-rewound clock as usual.
+  pot.receive(0, query(kVictimA), 11.0);
+  EXPECT_EQ(pot.responses_sent(), 2u);
+}
+
+TEST(Honeypot, EqualTimestampsAreNotOutOfOrder) {
+  AmpPotHoneypot pot(1);
+  pot.receive(0, query(kVictimA), 1.0);
+  pot.receive(0, query(kVictimB), 1.0);
+  EXPECT_EQ(pot.out_of_order_packets(), 0u);
+}
+
 TEST(Honeypot, AttacksSortedByVolume) {
   HoneypotOptions options;
   options.attack_min_packets = 1;

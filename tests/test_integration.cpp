@@ -7,12 +7,19 @@
 #include "core/attribution.hpp"
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 #include "traffic/honeypot.hpp"
 #include "traffic/spoofer.hpp"
 #include "traffic/valid_source.hpp"
 
 namespace spooftrack {
 namespace {
+
+std::uint64_t saturated_votes() {
+  const auto* metric = obs::Registry::global().snapshot().find(
+      "measure.inference.votes_saturated");
+  return metric == nullptr ? 0 : metric->value;
+}
 
 core::TestbedConfig testbed_config() {
   core::TestbedConfig config;
@@ -79,6 +86,24 @@ TEST(EndToEnd, LocalizesSingleSpoofer) {
 
   // And localization is exact: the winning cluster is the singleton.
   EXPECT_EQ(cluster_sizes[top], 1u);
+}
+
+TEST(EndToEnd, MeasuredDeploymentNeverSaturatesInferenceVotes) {
+  // Realistic deployment sizes stay far below the uint16 vote ceiling; a
+  // nonzero saturation counter would mean votes silently stopped counting.
+  core::TestbedConfig config = testbed_config();
+  config.transit_count = 20;
+  config.stub_count = 150;
+  config.probe_count = 60;
+  config.measured_catchments = true;
+  const core::PeeringTestbed testbed(config);
+  auto configs = testbed.generator().location_phase();
+  configs.resize(6);
+
+  const std::uint64_t before = saturated_votes();
+  const auto deployment = testbed.deploy(configs);
+  ASSERT_FALSE(deployment.measured.empty());
+  EXPECT_EQ(saturated_votes(), before);
 }
 
 TEST(EndToEnd, ValidSourceInferenceSeparatesSpoofedTraffic) {

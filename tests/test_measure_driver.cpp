@@ -1,0 +1,205 @@
+// Pinned equivalence of the parallel measurement driver: for any worker
+// count, MeasurementDriver must produce byte-identical InferenceResults,
+// equal to a straightforward serial composition of the pipeline stages
+// (feed collect -> per-round traceroutes -> repair -> inference). Mirrors
+// the scheduler equivalence pinning in test_catchment_store.cpp.
+#include "measure/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace spooftrack::measure {
+namespace {
+
+core::TestbedConfig driver_testbed() {
+  core::TestbedConfig config;
+  config.seed = 23;
+  config.tier1_count = 4;
+  config.transit_count = 24;
+  config.stub_count = 180;
+  config.probe_count = 70;
+  config.feed.peer_count = 40;
+  config.traceroute_rounds = 2;
+  return config;
+}
+
+class MeasureDriverTest : public ::testing::Test {
+ protected:
+  MeasureDriverTest()
+      : testbed_(driver_testbed()),
+        plan_(testbed_.graph()),
+        ixps_(testbed_.graph(), 4, 0.5, 77),
+        ip2as_(Ip2AsMap::from_plan(testbed_.graph(), plan_,
+                                   core::kPeeringAsn, {0.05, 3})),
+        feeds_(testbed_.graph(), {40, 0.6, 17}),
+        tracer_(testbed_.graph(), plan_, ixps_, TracerouteOptions{}),
+        repair_(testbed_.graph(), ip2as_, ixps_, core::kPeeringAsn),
+        inference_(testbed_.graph(), testbed_.origin()) {}
+
+  static constexpr std::uint32_t kRounds = 2;
+
+  std::vector<MeasurementTask> make_tasks(
+      const std::vector<bgp::Configuration>& configs) const {
+    std::vector<MeasurementTask> tasks;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto outcome = testbed_.route(configs[i]);
+      tasks.push_back(
+          {i,
+           std::make_shared<const std::vector<FeedEntry>>(
+               feeds_.collect(outcome)),
+           std::make_shared<const ProbePathSet>(ProbePathSet::extract(
+               outcome, testbed_.probe_ases(), testbed_.origin_id()))});
+    }
+    return tasks;
+  }
+
+  /// The pre-driver inline pipeline, verbatim: per config, feeds +
+  /// probe-major round-minor traceroutes salted with (config index, round),
+  /// batch repair, inference.
+  std::vector<InferenceResult> serial_reference(
+      const std::vector<bgp::Configuration>& configs) const {
+    std::vector<InferenceResult> results(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto outcome = testbed_.route(configs[i]);
+      const auto feed_entries = feeds_.collect(outcome);
+      std::vector<Traceroute> traces;
+      traces.reserve(testbed_.probe_ases().size() * kRounds);
+      for (topology::AsId probe : testbed_.probe_ases()) {
+        for (std::uint32_t round = 0; round < kRounds; ++round) {
+          traces.push_back(tracer_.run(outcome, probe, testbed_.origin_id(),
+                                       util::hash_combine(i, round)));
+        }
+      }
+      const auto paths = repair_.repair(traces, feed_entries);
+      results[i] = inference_.infer(feed_entries, paths);
+    }
+    return results;
+  }
+
+  MeasurementDriver driver(std::size_t workers) const {
+    MeasurementDriverOptions options;
+    options.workers = workers;
+    options.traceroute_rounds = kRounds;
+    return MeasurementDriver(tracer_, repair_, inference_,
+                             testbed_.probe_ases(), testbed_.origin_id(),
+                             options);
+  }
+
+  core::PeeringTestbed testbed_;
+  AddressPlan plan_;
+  IxpTable ixps_;
+  Ip2AsMap ip2as_;
+  FeedSimulator feeds_;
+  TracerouteSim tracer_;
+  PathRepair repair_;
+  CatchmentInference inference_;
+};
+
+TEST_F(MeasureDriverTest, MatchesSerialReferenceForAnyWorkerCount) {
+  auto configs = testbed_.generator().location_phase();
+  configs.resize(5);
+  const auto reference = serial_reference(configs);
+  const auto tasks = make_tasks(configs);
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const auto results = driver(workers).run(tasks);
+    ASSERT_EQ(results.size(), reference.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], reference[i])
+          << "workers=" << workers << " config=" << i;
+    }
+  }
+}
+
+TEST_F(MeasureDriverTest, ScratchReuseAcrossTasksIsInert) {
+  // The same task submitted twice through one worker slot must produce the
+  // same result both times: nothing may leak between a slot's tasks.
+  auto configs = testbed_.generator().location_phase();
+  configs.resize(2);
+  auto tasks = make_tasks(configs);
+  const std::size_t n = tasks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    MeasurementTask copy = tasks[i];
+    tasks.push_back(std::move(copy));
+  }
+  const auto results = driver(1).run(tasks);
+  ASSERT_EQ(results.size(), 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(results[i], results[n + i]) << "task " << i;
+  }
+}
+
+TEST_F(MeasureDriverTest, SharedSnapshotsAcrossTasksStayIndependent) {
+  // Fan-out duplicates share feed/path snapshots but carry their own
+  // config index: their traceroute rounds (and thus results) may differ,
+  // and a shared snapshot must never alias results.
+  auto configs = testbed_.generator().location_phase();
+  configs.resize(1);
+  auto tasks = make_tasks(configs);
+  MeasurementTask duplicate = tasks[0];
+  duplicate.config_index = 1;  // same outcome, different salt stream
+  tasks.push_back(duplicate);
+
+  const auto results = driver(2).run(tasks);
+  ASSERT_EQ(results.size(), 2u);
+  // Same snapshot, same pipeline: coverage statistics agree in
+  // distribution, and results for the *same* index are reproducible.
+  const auto again = driver(1).run(tasks);
+  EXPECT_EQ(results[0], again[0]);
+  EXPECT_EQ(results[1], again[1]);
+}
+
+TEST_F(MeasureDriverTest, EmptyTaskListYieldsNoResults) {
+  EXPECT_TRUE(driver(4).run({}).empty());
+}
+
+TEST_F(MeasureDriverTest, ProbePathSetMatchesForwardingPaths) {
+  auto configs = testbed_.generator().location_phase();
+  configs.resize(1);
+  const auto outcome = testbed_.route(configs[0]);
+  const auto set = ProbePathSet::extract(outcome, testbed_.probe_ases(),
+                                         testbed_.origin_id());
+  ASSERT_EQ(set.offsets.size(), testbed_.probe_ases().size() + 1);
+  for (std::size_t p = 0; p < testbed_.probe_ases().size(); ++p) {
+    const auto expect = bgp::forwarding_path(
+        outcome, testbed_.probe_ases()[p], testbed_.origin_id());
+    const auto got = set.path(p);
+    ASSERT_EQ(got.size(), expect.size()) << "probe " << p;
+    for (std::size_t h = 0; h < got.size(); ++h) {
+      EXPECT_EQ(got[h], expect[h]) << "probe " << p << " hop " << h;
+    }
+  }
+}
+
+TEST(MeasureDriverDeploy, WorkerCountNeverChangesDeployment) {
+  core::TestbedConfig config = driver_testbed();
+  config.measured_catchments = true;
+
+  core::TestbedConfig serial = config;
+  serial.measure_workers = 1;
+  core::TestbedConfig wide = config;
+  wide.measure_workers = 8;
+
+  const core::PeeringTestbed a(serial);
+  const core::PeeringTestbed b(wide);
+  auto configs = a.generator().location_phase();
+  configs.resize(3);
+
+  const auto ra = a.deploy(configs);
+  const auto rb = b.deploy(configs);
+  ASSERT_EQ(ra.measured.size(), rb.measured.size());
+  for (std::size_t i = 0; i < ra.measured.size(); ++i) {
+    EXPECT_EQ(ra.measured[i], rb.measured[i]) << "config " << i;
+  }
+  EXPECT_EQ(ra.sources, rb.sources);
+  EXPECT_EQ(ra.matrix, rb.matrix);
+  EXPECT_EQ(ra.mean_coverage, rb.mean_coverage);
+  EXPECT_EQ(ra.mean_multi_catchment, rb.mean_multi_catchment);
+}
+
+}  // namespace
+}  // namespace spooftrack::measure

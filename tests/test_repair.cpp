@@ -122,6 +122,73 @@ TEST_F(RepairTest, Step4FillsAsGapsFromFeeds) {
                                         test::kOrigin}));
 }
 
+TEST_F(RepairTest, OriginSandwichNeverRecordedAsFeedInterior) {
+  // A poisoned announcement puts the origin mid-path in feed exports:
+  // c t1 ORIGIN t2 p1 ORIGIN. Interiors crossing the origin are encoding
+  // artifacts, so the feed index must never bridge a gap through them —
+  // even though (t1, t2) and (c, p1) have unique "interiors" in this feed.
+  FeedEntry feed;
+  feed.peer = id(test::kC);
+  feed.as_path = {test::kC, test::kT1, test::kOrigin,
+                  test::kT2, test::kP1, test::kOrigin};
+  const std::vector<FeedEntry> feeds = {feed};
+
+  // Gap between c and t2: the only feed route between them crosses the
+  // origin, so it must stay unbridged (unknown hop dropped, step 5).
+  const auto gappy = trace_of(
+      test::kC, {router(test::kC), std::nullopt, router(test::kT2),
+                 AddressPlan::experiment_target()});
+  const auto repaired = repair_.repair(std::vector<Traceroute>{gappy}, feeds);
+  ASSERT_EQ(repaired.size(), 1u);
+  EXPECT_EQ(repaired[0].path,
+            (std::vector<topology::Asn>{test::kC, test::kT2, test::kOrigin}));
+  // The origin never materializes mid-path from the sandwich.
+  for (std::size_t h = 0; h + 1 < repaired[0].path.size(); ++h) {
+    EXPECT_NE(repaired[0].path[h], test::kOrigin);
+  }
+}
+
+TEST_F(RepairTest, FeedInteriorsBeforeTheOriginStillBridge) {
+  // The sandwich break must not be overeager: the pair (c -> origin) with
+  // interior {t1} terminates at the origin without crossing it, and stays
+  // usable for step 4.
+  FeedEntry feed;
+  feed.peer = id(test::kC);
+  feed.as_path = {test::kC, test::kT1, test::kOrigin,
+                  test::kT2, test::kP1, test::kOrigin};
+  const std::vector<FeedEntry> feeds = {feed};
+  const auto gappy = trace_of(
+      test::kC, {router(test::kC), std::nullopt,
+                 AddressPlan::experiment_target()});
+  const auto repaired = repair_.repair(std::vector<Traceroute>{gappy}, feeds);
+  ASSERT_EQ(repaired.size(), 1u);
+  EXPECT_TRUE(repaired[0].complete);
+  EXPECT_EQ(repaired[0].path,
+            (std::vector<topology::Asn>{test::kC, test::kT1, test::kOrigin}));
+}
+
+TEST_F(RepairTest, ScratchReuseAcrossBatchesMatchesFreshScratch) {
+  const auto complete = trace_of(
+      test::kC, {router(test::kC), router(test::kT1), router(test::kP1),
+                 AddressPlan::experiment_target()});
+  const auto gappy = trace_of(
+      test::kC, {router(test::kC), std::nullopt, std::nullopt,
+                 AddressPlan::experiment_target()});
+  const std::vector<Traceroute> batch_a = {complete, gappy};
+  const std::vector<Traceroute> batch_b = {gappy};
+
+  PathRepair::Scratch scratch;
+  std::vector<AsLevelPath> out;
+  repair_.repair(batch_a, {}, scratch, out);
+  EXPECT_EQ(out, repair_.repair(batch_a, {}));
+  // Batch B must not see batch A's index: the gap has no donor now, so
+  // the interior hops are dropped instead of inherited from batch A.
+  repair_.repair(batch_b, {}, scratch, out);
+  EXPECT_EQ(out, repair_.repair(batch_b, {}));
+  EXPECT_EQ(out[0].path,
+            (std::vector<topology::Asn>{test::kC, test::kOrigin}));
+}
+
 TEST_F(RepairTest, UnknownHopsDroppedWhenUnresolvable) {
   const auto t = trace_of(
       test::kC, {router(test::kC), std::nullopt, router(test::kP1),

@@ -91,6 +91,35 @@ TEST_F(VerfploeterTest, RetriesRecoverTransientLoss) {
   EXPECT_GE(result.covered_count, graph_.size() - 2);
 }
 
+TEST_F(VerfploeterTest, ZeroRoundsClampedToOneRound) {
+  // rounds == 0 would silently probe nothing and report zero coverage for
+  // every deployment; the prober clamps it to a single round instead.
+  VerfploeterOptions options = lossless();
+  options.rounds = 0;
+  const VerfploeterProber prober(graph_, plan_, options);
+  const auto config = test::announce_all(2);
+  const auto outcome = engine_.run(origin_, config);
+  const auto result =
+      prober.probe(outcome, config, *graph_.id_of(test::kOrigin), 0);
+  EXPECT_EQ(result.covered_count, graph_.size() - 1);
+}
+
+TEST_F(VerfploeterTest, OutOfRangeProbabilitiesClamped) {
+  VerfploeterOptions options;
+  options.responsive_prob = 1.7;  // clamped to 1.0: everyone responds
+  options.loss_prob = -0.3;       // clamped to 0.0: nothing is lost
+  options.rounds = 1;
+  const VerfploeterProber prober(graph_, plan_, options);
+  for (topology::AsId id = 0; id < graph_.size(); ++id) {
+    EXPECT_TRUE(prober.responsive(id));
+  }
+  const auto config = test::announce_all(2);
+  const auto outcome = engine_.run(origin_, config);
+  const auto result =
+      prober.probe(outcome, config, *graph_.id_of(test::kOrigin), 0);
+  EXPECT_EQ(result.covered_count, graph_.size() - 1);
+}
+
 TEST_F(VerfploeterTest, UnroutedTargetsCannotReply) {
   const VerfploeterProber prober(graph_, plan_, lossless());
   bgp::Configuration config;
