@@ -65,6 +65,12 @@ measure::TracerouteOptions patched_traceroute(const TestbedConfig& config) {
   return t;
 }
 
+fault::FaultPlan patched_faults(const TestbedConfig& config) {
+  fault::FaultPlan f = config.faults;
+  f.seed = util::hash_combine(config.seed, f.seed);
+  return f;
+}
+
 }  // namespace
 
 std::span<const MuxInfo> table1_muxes() noexcept { return kTable1; }
@@ -87,10 +93,15 @@ PeeringTestbed::PeeringTestbed(TestbedConfig config)
               util::hash_combine(config_.seed, config_.feed.seed)}),
       tracer_(topo_.graph, plan_, ixps_, patched_traceroute(config_)),
       repair_(topo_.graph, ip2as_, ixps_, kPeeringAsn),
-      inference_(topo_.graph, origin_) {
+      inference_(topo_.graph, origin_),
+      injector_(patched_faults(config_)) {
   const auto id = topo_.graph.id_of(kPeeringAsn);
   if (!id) throw std::logic_error("origin missing from topology");
   origin_id_ = *id;
+
+  // The traceroute simulator consults the injector on every run; with an
+  // all-zero plan fires() is constant-false, so traces stay bit-identical.
+  tracer_.set_fault_injector(&injector_);
 
   // RIPE Atlas probes: distinct ASes, 80% stubs / 20% transit.
   util::Rng rng{util::hash_combine(config_.seed, 0x9806E5ULL)};
@@ -142,6 +153,18 @@ std::uint32_t collapsed_distance(bgp::PathArena::View path,
   return count;
 }
 
+/// Folds the driver's per-task fault accounting into the deploy-level
+/// quality record (which already knows deployment attempts) and grades it.
+void merge_quality(fault::ConfigQuality& into,
+                   const fault::ConfigQuality& measured,
+                   const fault::FaultPlan& plan) {
+  into.feed_entries = measured.feed_entries;
+  into.feed_faults = measured.feed_faults;
+  into.traces = measured.traces;
+  into.trace_faults = measured.trace_faults;
+  into.grade = fault::grade_config(into, plan);
+}
+
 }  // namespace
 
 DeploymentResult PeeringTestbed::deploy(
@@ -157,6 +180,51 @@ DeploymentResult PeeringTestbed::deploy(
   result.engine_rounds.assign(n, 0);
   if (config_.measured_catchments) result.measured.resize(n);
   if (config_.audit_policies) result.compliance.resize(n);
+
+  // Transient deployment failures with a retry budget. Attempts are drawn
+  // up front — draws are stateless, so this serial loop is free and the
+  // fault layer never perturbs propagation order or chain assignment. An
+  // abandoned configuration keeps its ground truth (faults model the
+  // measurement plane, not routing) but gets no measurement.
+  const bool faulty = injector_.enabled();
+  std::vector<char> abandoned(n, 0);
+  if (faulty) {
+    result.quality.assign(n, {});
+    if (config_.faults.any_deploy()) {
+      const std::uint32_t max_attempts =
+          1 + config_.faults.deploy_retry_budget;
+      std::uint64_t failures = 0;
+      std::uint64_t retries = 0;
+      std::uint64_t gave_up = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t failed_attempts = 0;
+        while (failed_attempts < max_attempts &&
+               injector_.fires(fault::Site::kDeployFailure, i,
+                               failed_attempts)) {
+          ++failed_attempts;
+        }
+        failures += failed_attempts;
+        if (failed_attempts == max_attempts) {
+          abandoned[i] = 1;
+          ++gave_up;
+          retries += max_attempts - 1;
+          result.quality[i].deploy_attempts = max_attempts;
+          result.quality[i].grade = fault::Grade::kFailed;
+        } else {
+          retries += failed_attempts;
+          result.quality[i].deploy_attempts = failed_attempts + 1;
+          // Graded now so ground-truth deployments (no measurement pass)
+          // still mark retried configs; re-graded with feed/trace counts
+          // after measurement.
+          result.quality[i].grade =
+              fault::grade_config(result.quality[i], config_.faults);
+        }
+      }
+      OBS_COUNT("fault.deploy.failures", failures);
+      OBS_COUNT("fault.deploy.retries", retries);
+      OBS_COUNT("fault.deploy.gave_up", gave_up);
+    }
+  }
 
   // Propagation runs through the campaign runner: memoized, ordered by
   // seed similarity, warm-started along per-worker chains (cold per-config
@@ -220,7 +288,7 @@ DeploymentResult PeeringTestbed::deploy(
           audit_compliance(engine_, origin_, config, outcome);
     }
 
-    if (config_.measured_catchments) {
+    if (config_.measured_catchments && !abandoned[i]) {
       auto& snap = chain_snapshot[chain];
       if (!snap.valid || snap.announcements != config.announcements) {
         snap.valid = true;
@@ -231,6 +299,17 @@ DeploymentResult PeeringTestbed::deploy(
             measure::ProbePathSet::extract(outcome, probes_, origin_id_));
       }
       tasks[i] = {i, snap.feeds, snap.probe_paths};
+      if (config_.faults.any_feed()) {
+        // Collector faults filter the (possibly shared) clean snapshot
+        // per configuration; degrade() is stateless in i, so memo fan-out
+        // sharing stays deterministic.
+        std::uint32_t faulted = 0;
+        tasks[i].feeds =
+            std::make_shared<const std::vector<measure::FeedEntry>>(
+                measure::FeedSimulator::degrade(*snap.feeds, injector_, i,
+                                                origin_.asn, &faulted));
+        tasks[i].feed_faults = faulted;
+      }
     }
   }, runner);
 
@@ -255,13 +334,68 @@ DeploymentResult PeeringTestbed::deploy(
     const measure::MeasurementDriver driver(tracer_, repair_, inference_,
                                             probes_, origin_id_,
                                             driver_options);
-    result.measured = driver.run(tasks);
+    std::vector<fault::ConfigQuality> measured_quality;
+    const bool any_abandoned =
+        std::find(abandoned.begin(), abandoned.end(), char{1}) !=
+        abandoned.end();
+    if (!any_abandoned) {
+      result.measured = driver.run(tasks, faulty ? &measured_quality : nullptr);
+      for (std::size_t i = 0; faulty && i < n; ++i) {
+        merge_quality(result.quality[i], measured_quality[i], config_.faults);
+      }
+    } else {
+      // Compact to live configurations; tasks keep their original
+      // config_index, so salts — and thus fault and traceroute schedules —
+      // are unchanged by the compaction.
+      std::vector<measure::MeasurementTask> live;
+      std::vector<std::size_t> live_idx;
+      live.reserve(n);
+      live_idx.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (abandoned[i]) continue;
+        live.push_back(std::move(tasks[i]));
+        live_idx.push_back(i);
+      }
+      auto live_results = driver.run(live, &measured_quality);
+      // Abandoned configurations get a sized-but-empty inference: nothing
+      // observed, every catchment missing, so build_matrix leaves their
+      // rows all-missing and imputation cannot resurrect them.
+      measure::InferenceResult missing;
+      missing.catchments.link_of.assign(as_count, bgp::kNoCatchment);
+      missing.observed.assign(as_count, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (abandoned[i]) result.measured[i] = missing;
+      }
+      for (std::size_t k = 0; k < live_idx.size(); ++k) {
+        result.measured[live_idx[k]] = std::move(live_results[k]);
+        merge_quality(result.quality[live_idx[k]], measured_quality[k],
+                      config_.faults);
+      }
+    }
+  }
+
+  if (faulty) {
+    std::uint64_t degraded = 0;
+    std::uint64_t failed = 0;
+    for (const fault::ConfigQuality& q : result.quality) {
+      degraded += q.grade == fault::Grade::kDegraded ? 1 : 0;
+      failed += q.grade == fault::Grade::kFailed ? 1 : 0;
+    }
+    OBS_COUNT("measure.degraded.configs", degraded);
+    OBS_COUNT("measure.degraded.failed_configs", failed);
   }
 
   // Analysis sources (§IV-d) and the catchment matrix.
   if (config_.measured_catchments) {
     if (!result.measured.empty()) {
-      result.sources = measure::baseline_sources(result.measured[0]);
+      // Quorum-aware baseline: the first configuration that actually has a
+      // measurement anchors the source set. With every config abandoned
+      // the source set is empty and the matrix has zero columns.
+      std::size_t first = 0;
+      while (first < n && abandoned[first]) ++first;
+      if (first < n) {
+        result.sources = measure::baseline_sources(result.measured[first]);
+      }
       OBS_GAUGE("deploy.sources", result.sources.size());
       result.matrix = measure::build_matrix(result.measured, result.sources);
       double multi = 0.0;

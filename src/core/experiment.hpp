@@ -18,6 +18,7 @@
 #include "bgp/policy.hpp"
 #include "core/config_gen.hpp"
 #include "core/policy_audit.hpp"
+#include "fault/fault.hpp"
 #include "measure/address_plan.hpp"
 #include "measure/driver.hpp"
 #include "measure/feed.hpp"
@@ -72,6 +73,16 @@ struct TestbedConfig {
   measure::TracerouteOptions traceroute;
   measure::Ip2AsOptions ip2as;
 
+  /// Fault model for the measurement plane (docs/faults.md). All
+  /// probabilities default to zero, which is a provable no-op: every
+  /// deployment output is bit-identical to a build without the fault
+  /// layer. Faults degrade *measurements* — feeds, traceroutes, deploy
+  /// attempts — never the routing ground truth, so `truth`,
+  /// `engine_rounds`, and `min_route_distance` are invariant under any
+  /// plan. The injector seed is salted with TestbedConfig::seed, like
+  /// every other component seed.
+  fault::FaultPlan faults;
+
   std::uint32_t probe_count = 1200;      // RIPE Atlas probes (distinct ASes)
   std::uint32_t traceroute_rounds = 3;   // rounds per configuration (§IV-b)
   std::uint32_t ixp_count = 12;
@@ -118,6 +129,13 @@ struct DeploymentResult {
   double mean_multi_catchment = 0.0;
   /// Mean number of ASes covered by measurements per configuration.
   double mean_coverage = 0.0;
+  /// Per-configuration measurement quality (empty when the fault plan has
+  /// every probability at zero). A kFailed entry means deployment was
+  /// abandoned after exhausting the retry budget: its `measured` slot is a
+  /// sized-but-empty inference (nothing observed) and its matrix row stays
+  /// all-missing — "missing measurement", distinct from a measured config
+  /// whose sources merely cast no vote.
+  std::vector<fault::ConfigQuality> quality;
 };
 
 class PeeringTestbed {
@@ -133,6 +151,12 @@ class PeeringTestbed {
   const bgp::RoutingPolicy& policy() const noexcept { return policy_; }
   const std::vector<topology::AsId>& probe_ases() const noexcept {
     return probes_;
+  }
+  /// The testbed's fault source (disabled when the plan is all-zero).
+  /// Exposed so traffic-plane components (e.g. AmpPotHoneypot) can share
+  /// the same schedule: testbed.fault_injector() with a caller-chosen salt.
+  const fault::FaultInjector& fault_injector() const noexcept {
+    return injector_;
   }
 
   /// Configuration generator bound to this testbed's origin.
@@ -162,6 +186,7 @@ class PeeringTestbed {
   measure::TracerouteSim tracer_;
   measure::PathRepair repair_;
   measure::CatchmentInference inference_;
+  fault::FaultInjector injector_;
   std::vector<topology::AsId> probes_;
 };
 

@@ -50,8 +50,10 @@ MeasurementDriver::MeasurementDriver(const TracerouteSim& tracer,
       options_(options) {}
 
 std::vector<InferenceResult> MeasurementDriver::run(
-    std::span<const MeasurementTask> tasks) const {
+    std::span<const MeasurementTask> tasks,
+    std::vector<fault::ConfigQuality>* quality) const {
   std::vector<InferenceResult> results(tasks.size());
+  if (quality != nullptr) quality->assign(tasks.size(), {});
   if (tasks.empty()) return results;
 
   const std::size_t workers =
@@ -83,6 +85,15 @@ std::vector<InferenceResult> MeasurementDriver::run(
         }
       }
       OBS_COUNT("measure.driver.traceroutes", s.traces.size());
+      if (quality != nullptr) {
+        fault::ConfigQuality& q = (*quality)[t];
+        q.feed_entries = static_cast<std::uint32_t>(task.feeds->size());
+        q.feed_faults = task.feed_faults;
+        q.traces = static_cast<std::uint32_t>(s.traces.size());
+        for (const Traceroute& trace : s.traces) {
+          q.trace_faults += trace.fault != 0 ? 1u : 0u;
+        }
+      }
       repair_.repair(s.traces, *task.feeds, s.repair, s.repaired);
       results[t] = inference_.infer(*task.feeds, s.repaired, s.inference);
     }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bgp/engine.hpp"
+#include "fault/fault.hpp"
 #include "measure/feed.hpp"
 #include "measure/inference.hpp"
 #include "measure/repair.hpp"
@@ -53,6 +54,10 @@ struct MeasurementTask {
   std::size_t config_index = 0;  // traceroute salt = (config_index, round)
   std::shared_ptr<const std::vector<FeedEntry>> feeds;
   std::shared_ptr<const ProbePathSet> probe_paths;
+  /// Feed entries lost to injected collector faults before the task was
+  /// built (FeedSimulator::degrade); carried here so quality accounting
+  /// sees them even though `feeds` holds only the survivors.
+  std::uint32_t feed_faults = 0;
 };
 
 struct MeasurementDriverOptions {
@@ -73,8 +78,15 @@ class MeasurementDriver {
                     MeasurementDriverOptions options = {});
 
   /// Runs the measurement pipeline for every task; results in task order.
+  /// When `quality` is non-null it is resized to tasks.size() and filled
+  /// with per-task fault accounting (feed entry/fault counts from the task,
+  /// trace counts and fault flags from the traceroute batch). Grades are
+  /// left at kGood — the deploy loop grades once it also knows deployment
+  /// attempts. Quality output is byte-identical for any worker count, like
+  /// the results themselves.
   std::vector<InferenceResult> run(
-      std::span<const MeasurementTask> tasks) const;
+      std::span<const MeasurementTask> tasks,
+      std::vector<fault::ConfigQuality>* quality = nullptr) const;
 
  private:
   const TracerouteSim& tracer_;

@@ -64,4 +64,33 @@ std::vector<FeedEntry> FeedSimulator::collect(
   return entries;
 }
 
+std::vector<FeedEntry> FeedSimulator::degrade(
+    const std::vector<FeedEntry>& entries,
+    const fault::FaultInjector& injector, std::uint64_t salt,
+    topology::Asn origin_asn, std::uint32_t* faulted) {
+  std::vector<FeedEntry> out;
+  out.reserve(entries.size());
+  for (const FeedEntry& entry : entries) {
+    if (injector.fires(fault::Site::kFeedOutage, salt, entry.peer)) {
+      OBS_COUNT("fault.feed.outages", 1);
+      if (faulted != nullptr) ++*faulted;
+      continue;
+    }
+    FeedEntry copy = entry;
+    if (injector.fires(fault::Site::kFeedStale, salt, entry.peer)) {
+      // Stale RIB snapshot: the path the collector dumped predates the
+      // announcement, so everything from the seed onward is missing. The
+      // peer itself always remains (it exported *something*).
+      const auto seed = std::find(copy.as_path.begin(), copy.as_path.end(),
+                                  origin_asn);
+      copy.as_path.erase(std::max(copy.as_path.begin() + 1, seed),
+                         copy.as_path.end());
+      OBS_COUNT("fault.feed.stale", 1);
+      if (faulted != nullptr) ++*faulted;
+    }
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
 }  // namespace spooftrack::measure

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bgp/engine.hpp"
+#include "fault/fault.hpp"
 #include "topology/as_graph.hpp"
 
 namespace spooftrack::measure {
@@ -38,6 +39,22 @@ class FeedSimulator {
   /// Collects one RIB snapshot: one entry per peer that currently has a
   /// route. Thread-safe (const, no mutable state).
   std::vector<FeedEntry> collect(const bgp::RoutingOutcome& outcome) const;
+
+  /// Applies deterministic collector faults to a clean snapshot: per
+  /// (salt, peer), an *outage* drops the peer's entry entirely and a
+  /// *stale* snapshot truncates its AS-path before the first occurrence of
+  /// `origin_asn` (the collector dumped a RIB that predates the
+  /// announcement, so the entry yields no catchment votes). `salt` is the
+  /// configuration index. Fault draws are stateless, so degrading a
+  /// snapshot shared by several configurations (campaign memo fan-out)
+  /// stays per-config deterministic. With both feed probabilities zero the
+  /// input is returned unchanged. Increments *faulted (when given) once
+  /// per dropped or staled entry.
+  static std::vector<FeedEntry> degrade(const std::vector<FeedEntry>& entries,
+                                        const fault::FaultInjector& injector,
+                                        std::uint64_t salt,
+                                        topology::Asn origin_asn,
+                                        std::uint32_t* faulted = nullptr);
 
  private:
   const topology::AsGraph& graph_;

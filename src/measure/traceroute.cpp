@@ -50,6 +50,18 @@ void TracerouteSim::run_on_path(std::span<const topology::AsId> path,
   trace.probe = probe;
   trace.hops.clear();
   trace.reached = false;
+  trace.fault = 0;
+
+  if (faults_ != nullptr &&
+      faults_->fires(fault::Site::kTracerouteLoss, salt, probe)) {
+    // The probe result never arrives: no hops at all, as opposed to a
+    // routeless trace, which still shows the probe-side gateway.
+    trace.fault = kTraceFaultLost;
+    OBS_COUNT("fault.traceroute.lost", 1);
+    OBS_COUNT("measure.traceroute.incomplete", 1);
+    OBS_HIST("measure.traceroute.hops", "hops", 0);
+    return;
+  }
 
   auto transient_lost = [&](std::uint64_t hop_index) {
     return unit_hash(options_.seed, salt ^ 0x7C, probe, hop_index) <
@@ -121,6 +133,22 @@ void TracerouteSim::run_on_path(std::span<const topology::AsId> path,
   } else {
     trace.hops.push_back({AddressPlan::experiment_target()});
     trace.reached = true;
+  }
+
+  if (faults_ != nullptr &&
+      faults_->fires(fault::Site::kTracerouteTruncate, salt, probe)) {
+    // Cut short at a hash-derived hop. keep == hops.size() (possible only
+    // for single-hop traces) leaves the trace intact and is not counted.
+    const std::size_t keep =
+        1 + static_cast<std::size_t>(
+                faults_->mix(fault::Site::kTracerouteTruncate, salt, probe) %
+                trace.hops.size());
+    if (keep < trace.hops.size()) {
+      trace.hops.resize(keep);
+      trace.reached = false;
+      trace.fault |= kTraceFaultTruncated;
+      OBS_COUNT("fault.traceroute.truncated", 1);
+    }
   }
   if (!trace.reached) OBS_COUNT("measure.traceroute.incomplete", 1);
   OBS_HIST("measure.traceroute.hops", "hops", trace.hops.size());

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bgp/engine.hpp"
+#include "fault/fault.hpp"
 #include "measure/address_plan.hpp"
 #include "measure/ixp_table.hpp"
 #include "netcore/ipv4.hpp"
@@ -29,10 +30,15 @@ struct TracerouteHop {
   bool responsive() const noexcept { return address.has_value(); }
 };
 
+/// Bits set in Traceroute::fault when injected faults altered the trace.
+inline constexpr std::uint8_t kTraceFaultLost = 0x1;
+inline constexpr std::uint8_t kTraceFaultTruncated = 0x2;
+
 struct Traceroute {
   topology::AsId probe = topology::kInvalidAsId;
   std::vector<TracerouteHop> hops;
-  bool reached = false;  // destination answered
+  bool reached = false;      // destination answered
+  std::uint8_t fault = 0;    // kTraceFault* bits (0 = clean measurement)
 };
 
 struct TracerouteOptions {
@@ -72,12 +78,22 @@ class TracerouteSim {
   /// Whether an AS is persistently silent under this option seed.
   bool as_silent(topology::AsId id) const noexcept;
 
+  /// Installs a fault source (not owned; may be nullptr to disable).
+  /// Per (salt, probe), a *loss* fault swallows the whole traceroute
+  /// (empty hops, kTraceFaultLost) and a *truncate* fault cuts the trace
+  /// at a hash-derived hop before the destination (kTraceFaultTruncated).
+  /// A disabled injector leaves every trace bit-identical.
+  void set_fault_injector(const fault::FaultInjector* injector) noexcept {
+    faults_ = injector;
+  }
+
  private:
   const topology::AsGraph& graph_;
   const AddressPlan& plan_;
   const IxpTable& ixps_;
   TracerouteOptions options_;
   std::vector<std::uint8_t> silent_;  // per-AsId persistent silence bitmap
+  const fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace spooftrack::measure

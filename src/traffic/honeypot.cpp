@@ -16,6 +16,27 @@ AmpPotHoneypot::AmpPotHoneypot(std::size_t link_count,
 void AmpPotHoneypot::receive(bgp::LinkId link,
                              const netcore::Datagram& datagram,
                              double timestamp) {
+  const std::uint64_t seq = ingest_seq_++;
+  if (faults_ != nullptr) {
+    if (faults_->fires(fault::Site::kHoneypotDrop, fault_salt_, seq)) {
+      // The capture pipeline lost the packet before the honeypot saw it:
+      // no accounting at all, not even the malformed counter.
+      ++fault_dropped_;
+      OBS_COUNT("fault.honeypot.dropped", 1);
+      return;
+    }
+    if (faults_->fires(fault::Site::kHoneypotDuplicate, fault_salt_, seq)) {
+      ++fault_duplicated_;
+      OBS_COUNT("fault.honeypot.duplicated", 1);
+      ingest(link, datagram, timestamp);
+    }
+  }
+  ingest(link, datagram, timestamp);
+}
+
+void AmpPotHoneypot::ingest(bgp::LinkId link,
+                            const netcore::Datagram& datagram,
+                            double timestamp) {
   const auto ip = datagram.ip();
   const auto udp = datagram.udp();
   if (!ip || !udp || link >= packets_.size()) {

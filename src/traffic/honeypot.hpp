@@ -14,6 +14,7 @@
 
 #include "bgp/announcement.hpp"
 #include "bgp/catchment.hpp"
+#include "fault/fault.hpp"
 #include "netcore/packet.hpp"
 #include "traffic/amplification.hpp"
 
@@ -38,6 +39,22 @@ class AmpPotHoneypot {
   /// token bucket never rewinds; out-of-order arrivals are counted.
   void receive(bgp::LinkId link, const netcore::Datagram& datagram,
                double timestamp);
+
+  /// Installs a fault source (not owned; may be nullptr to disable) with a
+  /// per-honeypot salt. Faults model the capture pipeline in front of the
+  /// honeypot: per ingest sequence number, a *drop* loses the packet
+  /// before any processing (not counted as malformed) and a *duplicate*
+  /// delivers it twice (capture merge artifact). Sequence numbers count
+  /// receive() calls, so a fault schedule depends only on arrival order.
+  void set_fault_injector(const fault::FaultInjector* injector,
+                          std::uint64_t salt) noexcept {
+    faults_ = injector;
+    fault_salt_ = salt;
+  }
+  std::uint64_t fault_dropped() const noexcept { return fault_dropped_; }
+  std::uint64_t fault_duplicated() const noexcept {
+    return fault_duplicated_;
+  }
 
   std::uint64_t packets_on(bgp::LinkId link) const noexcept;
   std::uint64_t bytes_on(bgp::LinkId link) const noexcept;
@@ -72,9 +89,17 @@ class AmpPotHoneypot {
   std::vector<VictimStats> attacks() const;
 
  private:
+  void ingest(bgp::LinkId link, const netcore::Datagram& datagram,
+              double timestamp);
+
   HoneypotOptions options_;
   std::vector<std::uint64_t> packets_;
   std::vector<std::uint64_t> bytes_;
+  const fault::FaultInjector* faults_ = nullptr;
+  std::uint64_t fault_salt_ = 0;
+  std::uint64_t ingest_seq_ = 0;
+  std::uint64_t fault_dropped_ = 0;
+  std::uint64_t fault_duplicated_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t out_of_order_ = 0;
   std::uint64_t responses_sent_ = 0;

@@ -33,6 +33,9 @@ bool FlagSet::parse(int argc, const char* const* argv) {
 bool FlagSet::parse(const std::vector<std::string>& args) {
   error_.clear();
   positionals_.clear();
+  // Fresh `set` state per parse: repeated parses of one FlagSet stay
+  // idempotent, while repeats *within* one argv are rejected below.
+  for (auto& [name, flag] : flags_) flag.set = false;
   for (const std::string& arg : args) {
     if (arg.rfind("--", 0) != 0) {
       positionals_.push_back(arg);
@@ -48,6 +51,10 @@ bool FlagSet::parse(const std::vector<std::string>& args) {
       return false;
     }
     Flag& flag = it->second;
+    if (flag.set) {
+      error_ = "duplicate flag: --" + name;
+      return false;
+    }
     if (flag.is_switch) {
       if (eq != std::string::npos) {
         error_ = "switch --" + name + " takes no value";

@@ -87,6 +87,27 @@ TEST(Flags, UsageListsAllFlagsInOrder) {
   EXPECT_NE(usage.find("random seed"), std::string::npos);
 }
 
+TEST(Flags, RejectsDuplicateFlagWithinOneParse) {
+  FlagSet flags = make_flags();
+  EXPECT_FALSE(flags.parse({"--seed=1", "--seed=2"}));
+  EXPECT_NE(flags.error().find("duplicate flag"), std::string::npos);
+  FlagSet switches = make_flags();
+  EXPECT_FALSE(switches.parse({"--verbose", "--verbose"}));
+  EXPECT_NE(switches.error().find("duplicate flag"), std::string::npos);
+}
+
+TEST(Flags, ReparseIsIdempotentNotCumulative) {
+  // `set` state is per-parse: the same flag appearing in two *separate*
+  // parses is not a duplicate, and switch state from an earlier parse does
+  // not leak into the next.
+  FlagSet flags = make_flags();
+  ASSERT_TRUE(flags.parse({"--seed=1", "--verbose"}));
+  EXPECT_TRUE(flags.get_switch("verbose"));
+  ASSERT_TRUE(flags.parse({"--seed=2"}));
+  EXPECT_EQ(flags.get_u64("seed"), 2u);
+  EXPECT_FALSE(flags.get_switch("verbose"));
+}
+
 TEST(Flags, RedefinitionUpdatesInPlace) {
   FlagSet flags;
   flags.define("x", "first", "1");

@@ -72,7 +72,23 @@ util::FlagSet testbed_flags() {
       .define("rounds", "traceroute rounds per configuration", "2")
       .define_switch("ground-truth",
                      "use routing ground truth instead of the measured "
-                     "pipeline");
+                     "pipeline")
+      .define("fault-rate",
+              "fault probability applied to every injection site "
+              "(docs/faults.md)", "0")
+      .define("fault-feed-outage",
+              "collector outage probability (overrides fault-rate)", "")
+      .define("fault-feed-stale",
+              "stale feed snapshot probability (overrides fault-rate)", "")
+      .define("fault-trace-loss",
+              "traceroute loss probability (overrides fault-rate)", "")
+      .define("fault-trace-truncate",
+              "traceroute truncation probability (overrides fault-rate)", "")
+      .define("fault-deploy",
+              "per-attempt deployment failure probability (overrides "
+              "fault-rate)", "")
+      .define("fault-retries", "deployment retry budget", "2")
+      .define("fault-seed", "fault schedule seed", "");
   return flags;
 }
 
@@ -90,6 +106,26 @@ core::TestbedConfig testbed_config(const util::FlagSet& flags) {
   config.traceroute_rounds = static_cast<std::uint32_t>(
       flags.get_u64("rounds").value_or(2));
   config.measured_catchments = !flags.get_switch("ground-truth");
+  config.faults.set_all(flags.get_double("fault-rate").value_or(0.0));
+  if (const auto v = flags.get_double("fault-feed-outage")) {
+    config.faults.feed_outage_prob = *v;
+  }
+  if (const auto v = flags.get_double("fault-feed-stale")) {
+    config.faults.feed_stale_prob = *v;
+  }
+  if (const auto v = flags.get_double("fault-trace-loss")) {
+    config.faults.traceroute_loss_prob = *v;
+  }
+  if (const auto v = flags.get_double("fault-trace-truncate")) {
+    config.faults.traceroute_truncate_prob = *v;
+  }
+  if (const auto v = flags.get_double("fault-deploy")) {
+    config.faults.deploy_failure_prob = *v;
+  }
+  config.faults.deploy_retry_budget = static_cast<std::uint32_t>(
+      flags.get_u64("fault-retries").value_or(2));
+  config.faults.seed = flags.get_u64("fault-seed")
+                           .value_or(config.faults.seed);
   return config;
 }
 
@@ -201,6 +237,17 @@ int cmd_deploy(const std::vector<std::string>& args) {
   std::cerr << "deploying " << plan.size() << " configurations on "
             << testbed.graph().size() << " ASes...\n";
   const auto result = testbed.deploy(std::move(plan));
+  if (!result.quality.empty()) {
+    std::size_t degraded = 0;
+    std::size_t failed = 0;
+    for (const fault::ConfigQuality& q : result.quality) {
+      degraded += q.grade == fault::Grade::kDegraded;
+      failed += q.grade == fault::Grade::kFailed;
+    }
+    std::cerr << "fault plan active: " << degraded << " degraded, " << failed
+              << " failed of " << result.quality.size()
+              << " configurations (docs/faults.md)\n";
+  }
 
   auto artifact = core::make_artifact(result, config.seed,
                                       testbed.graph().size(),
