@@ -81,10 +81,19 @@ int finish(const BenchOptions& options, std::string_view bench_name,
   report.value("wall_ms", process_watch.elapsed_ms());
   // Machine context: every report says what it ran on, so single-core or
   // oversubscribed numbers need no hand-written explanation.
-  report.value("hardware_concurrency",
-               static_cast<double>(std::thread::hardware_concurrency()));
+  const unsigned hardware = std::thread::hardware_concurrency();
+  report.value("hardware_concurrency", static_cast<double>(hardware));
   report.value("workers",
                static_cast<double>(util::default_worker_count()));
+  if (hardware <= 1) {
+    // Parallel speedups measured here are meaningless; flag the report so
+    // downstream comparisons (CI trend lines, BENCH_*.json readers) can
+    // discount them instead of mistaking contention for regression.
+    report.label("single_core", "true");
+    std::cerr << "[bench] WARNING: single-core host "
+              << "(hardware_concurrency <= 1); parallel speedups are not "
+              << "meaningful, report flagged single_core=true\n";
+  }
   if (decorate) decorate(report);
   try {
     report.save_json_file(options.obs_report);

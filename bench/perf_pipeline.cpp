@@ -1,0 +1,191 @@
+// Streaming deploy pipeline: wall-clock and peak-RSS comparison of the
+// barrier deploy schedule (propagate everything, then measure everything,
+// then analyse) against the pipeline-executor schedule that overlaps
+// propagation of config i+1 with measurement of config i and the analysis
+// commit of config i-1 (core::PipelineMode, docs/architecture.md).
+//
+// Every run is digested (truth, rounds, sources, matrix, means) and the
+// bench fails — exit nonzero, "equivalent": false — if any schedule or
+// worker count diverges from the barrier reference: the speedup claim is
+// only meaningful over identical results.
+//
+// Peak-RSS methodology: ru_maxrss is a process-lifetime high-water mark,
+// so the streaming runs go FIRST; the barrier run afterwards raises the
+// mark by exactly the additional memory its bulk MeasurementTask snapshots
+// need beyond the streaming peak. That delta is the reported reduction.
+//
+// Usage: perf_pipeline [--quick] [--stubs=N] [--seed=N] [--obs-report=PATH]
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common.hpp"
+#include "core/config_gen.hpp"
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spooftrack;
+
+long max_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+#endif
+  return 0;
+}
+
+std::uint64_t digest(const core::DeploymentResult& result) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  const auto mix = [&h](std::uint64_t v) { h = util::hash_combine(h, v); };
+  for (const std::uint32_t rounds : result.engine_rounds) mix(rounds);
+  for (const topology::AsId id : result.sources) mix(id);
+  for (const std::uint32_t d : result.min_route_distance) mix(d);
+  for (const auto& truth : result.truth) {
+    for (const bgp::LinkId link : truth.link_of) mix(link);
+  }
+  const std::uint8_t* cells = result.matrix.data();
+  for (std::size_t i = 0; i < result.matrix.size_bytes(); ++i) mix(cells[i]);
+  for (const auto& inferred : result.measured) mix(inferred.covered_count);
+  mix(static_cast<std::uint64_t>(result.mean_coverage * 1e6));
+  mix(static_cast<std::uint64_t>(result.mean_multi_catchment * 1e9));
+  return h;
+}
+
+struct Run {
+  double ms = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+Run deploy_once(core::TestbedConfig config, core::PipelineMode mode,
+                std::size_t workers,
+                const std::vector<bgp::Configuration>& plan) {
+  config.pipeline = mode;
+  config.measure_workers = workers;
+  const core::PeeringTestbed testbed(config);
+  const obs::Stopwatch watch;
+  const auto result = testbed.deploy(plan);
+  return {watch.elapsed_ms(), digest(result)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::parse(argc, argv);
+  if (options.quick) {
+    options.stubs = 400;
+    options.transit = 60;
+    options.probes = 150;
+    options.rounds = 2;
+  }
+
+  core::TestbedConfig config = options.testbed_config();
+  config.pipeline_depth = 2;
+
+  // Plan: location + prepending phases (memo fan-out included), capped so
+  // the bench finishes in seconds, not the standard deployment's minutes.
+  const core::PeeringTestbed planner(config);
+  auto plan = planner.generator().location_phase();
+  const auto prepends = planner.generator().prepend_phase(plan);
+  plan.insert(plan.end(), prepends.begin(), prepends.end());
+  const std::size_t cap = options.quick ? 16 : 48;
+  if (plan.size() > cap) plan.resize(cap);
+
+  std::cerr << "[bench] " << plan.size() << " configurations, "
+            << planner.graph().size() << " ASes\n";
+
+  // --- Phase 1: streaming runs (first, so the RSS high-water mark is the
+  // streaming peak when the barrier run starts). Workers=1 doubles as the
+  // single-threaded RSS probe.
+  Run pipe1 = deploy_once(config, core::PipelineMode::kOn, 1, plan);
+  pipe1.ms = std::min(
+      pipe1.ms, deploy_once(config, core::PipelineMode::kOn, 1, plan).ms);
+  const long rss_after_pipeline_kb = max_rss_kb();
+
+  const std::vector<std::size_t> worker_counts = {2, 4, 8};
+  std::vector<Run> pipelined;
+  for (const std::size_t workers : worker_counts) {
+    pipelined.push_back(
+        deploy_once(config, core::PipelineMode::kOn, workers, plan));
+  }
+
+  // --- Phase 2: barrier runs.
+  Run barrier1 = deploy_once(config, core::PipelineMode::kOff, 1, plan);
+  const long rss_after_barrier_kb = max_rss_kb();
+  barrier1.ms = std::min(
+      barrier1.ms, deploy_once(config, core::PipelineMode::kOff, 1, plan).ms);
+
+  std::vector<Run> barrier;
+  for (const std::size_t workers : worker_counts) {
+    barrier.push_back(
+        deploy_once(config, core::PipelineMode::kOff, workers, plan));
+  }
+
+  bool equivalent = pipe1.checksum == barrier1.checksum;
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    equivalent = equivalent && pipelined[i].checksum == barrier1.checksum &&
+                 barrier[i].checksum == barrier1.checksum;
+  }
+  const long rss_delta_kb = rss_after_barrier_kb - rss_after_pipeline_kb;
+
+  std::cout << "{\n"
+            << "  \"bench\": \"perf_pipeline\",\n"
+            << "  \"configs\": " << plan.size() << ",\n"
+            << "  \"as_count\": " << planner.graph().size() << ",\n"
+            << "  \"barrier_ms_w1\": " << util::fmt_double(barrier1.ms, 2)
+            << ",\n"
+            << "  \"pipeline_ms_w1\": " << util::fmt_double(pipe1.ms, 2)
+            << ",\n";
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    const std::string w = std::to_string(worker_counts[i]);
+    const double speedup =
+        pipelined[i].ms > 0.0 ? barrier[i].ms / pipelined[i].ms : 0.0;
+    std::cout << "  \"barrier_ms_w" << w << "\": "
+              << util::fmt_double(barrier[i].ms, 2) << ",\n"
+              << "  \"pipeline_ms_w" << w << "\": "
+              << util::fmt_double(pipelined[i].ms, 2) << ",\n"
+              << "  \"speedup_w" << w << "\": " << util::fmt_double(speedup, 2)
+              << ",\n";
+  }
+  std::cout << "  \"peak_rss_after_pipeline_kb\": " << rss_after_pipeline_kb
+            << ",\n"
+            << "  \"barrier_extra_rss_kb\": " << rss_delta_kb << ",\n"
+            << "  \"equivalent\": " << (equivalent ? "true" : "false") << "\n"
+            << "}\n";
+
+  const int rc = bench::finish(options, "perf_pipeline", [&](auto& report) {
+    report.value("configs", static_cast<double>(plan.size()))
+        .value("as_count", static_cast<double>(planner.graph().size()))
+        .value("barrier_ms_w1", barrier1.ms)
+        .value("pipeline_ms_w1", pipe1.ms)
+        .value("peak_rss_after_pipeline_kb",
+               static_cast<double>(rss_after_pipeline_kb))
+        .value("barrier_extra_rss_kb", static_cast<double>(rss_delta_kb))
+        .label("equivalent", equivalent ? "true" : "false");
+    for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+      const std::string w = std::to_string(worker_counts[i]);
+      report.value("barrier_ms_w" + w, barrier[i].ms)
+          .value("pipeline_ms_w" + w, pipelined[i].ms)
+          .value("speedup_w" + w, pipelined[i].ms > 0.0
+                                      ? barrier[i].ms / pipelined[i].ms
+                                      : 0.0);
+    }
+  });
+
+  if (!equivalent) {
+    std::cerr << "FAIL: pipelined deployment diverged from the barrier "
+                 "reference\n";
+    return 1;
+  }
+  return rc;
+}

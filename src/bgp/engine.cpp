@@ -475,6 +475,30 @@ RoutingOutcome Engine::run_warm(const OriginSpec& origin,
                   prepare(origin, baseline_config), std::move(baseline));
 }
 
+RoutingOutcome Engine::run_warm_leased(
+    const OriginSpec& origin, const Configuration& config,
+    const Prepared& seeds, const Configuration& baseline_config,
+    const Prepared& baseline_seeds,
+    const std::shared_ptr<RoutingOutcome>& baseline, bool consume) const {
+  if (baseline == nullptr) {
+    throw std::invalid_argument("leased warm start requires a baseline");
+  }
+  if (consume) {
+    // Every lease on the baseline was dropped: move its routing state and
+    // arena into the warm run, exactly like the chained-campaign path.
+    OBS_COUNT("engine.warm.lease_consumed", 1);
+    return run_warm(origin, config, seeds, baseline_config, baseline_seeds,
+                    std::move(*baseline));
+  }
+  // A lease is still reading the baseline. The copy shares the baseline's
+  // arena, so run_warm takes the shared-arena path (prefix clone) and the
+  // leased outcome stays valid and untouched.
+  OBS_COUNT("engine.warm.lease_copied", 1);
+  RoutingOutcome copy = *baseline;
+  return run_warm(origin, config, seeds, baseline_config, baseline_seeds,
+                  std::move(copy));
+}
+
 RoutingOutcome Engine::run_warm(const OriginSpec& origin,
                                 const Configuration& config,
                                 const Prepared& seeds_prep,
@@ -676,35 +700,44 @@ std::uint64_t outcome_checksum(const RoutingOutcome& outcome,
   return h;
 }
 
-std::vector<AsId> forwarding_path(const RoutingOutcome& outcome,
-                                  AsId source, AsId origin) {
-  std::vector<AsId> path;
+void forwarding_path_into(const RoutingOutcome& outcome, AsId source,
+                          AsId origin, std::vector<AsId>& path) {
+  path.clear();
   if (source == origin) {
     path.push_back(origin);
-    return path;
+    return;
   }
   if (source >= outcome.best.size() || !outcome.best[source].valid()) {
-    return path;
+    return;
   }
   AsId cursor = source;
   const std::size_t limit = outcome.best.size() + 1;
   while (true) {
     path.push_back(cursor);
-    if (cursor == origin) return path;
+    if (cursor == origin) return;
     if (path.size() > limit) {
       // Forwarding loop: inconsistent state (an engine bug or a
       // non-converged outcome); surface as an empty path like the
       // invalid-hop case below.
-      return {};
+      path.clear();
+      return;
     }
     const AsId hop = outcome.next_hop[cursor];
     if (hop == kInvalidAsId) {
       // Inconsistent forwarding state (should not happen on converged
       // outcomes); surface as an empty path.
-      return {};
+      path.clear();
+      return;
     }
     cursor = hop;
   }
+}
+
+std::vector<AsId> forwarding_path(const RoutingOutcome& outcome,
+                                  AsId source, AsId origin) {
+  std::vector<AsId> path;
+  forwarding_path_into(outcome, source, origin, path);
+  return path;
 }
 
 }  // namespace spooftrack::bgp

@@ -189,6 +189,27 @@ class Engine {
                           const Prepared& baseline_seeds,
                           RoutingOutcome&& baseline) const;
 
+  /// Warm start from a *leased* baseline: the chained-campaign case where
+  /// the previous step's outcome may still be read concurrently by a
+  /// measurement lease. `consume` is the caller's explicit statement that
+  /// every lease has been dropped (with a release/acquire edge — never
+  /// inferred from shared_ptr::use_count(), whose relaxed load carries no
+  /// happens-before): true moves the baseline's routing state and arena
+  /// into the warm run, exactly like the && overload; false leaves
+  /// `*baseline` untouched and warm-starts from a copy (the copy shares
+  /// the arena, so the run extends a cloned prefix of it). The outcome —
+  /// routes, next hops, settled rounds, round count — is byte-identical
+  /// either way (the warm run starts from the same routing state and all
+  /// staging comparisons are structural under hash-consing); only
+  /// allocation behaviour differs.
+  RoutingOutcome run_warm_leased(const OriginSpec& origin,
+                                 const Configuration& config,
+                                 const Prepared& seeds,
+                                 const Configuration& baseline_config,
+                                 const Prepared& baseline_seeds,
+                                 const std::shared_ptr<RoutingOutcome>& baseline,
+                                 bool consume) const;
+
   /// A route available to an AS (used by the policy-compliance audit of
   /// Figure 9): what a neighbor exported and the AS accepted.
   struct CandidateInfo {
@@ -231,5 +252,12 @@ class Engine {
 std::vector<topology::AsId> forwarding_path(const RoutingOutcome& outcome,
                                             topology::AsId source,
                                             topology::AsId origin);
+
+/// As above, writing into a caller-owned buffer (cleared first) so batch
+/// extractors — measure::ProbePathSet over hundreds of probes per
+/// configuration — recycle one allocation instead of paying one per probe.
+void forwarding_path_into(const RoutingOutcome& outcome,
+                          topology::AsId source, topology::AsId origin,
+                          std::vector<topology::AsId>& path);
 
 }  // namespace spooftrack::bgp

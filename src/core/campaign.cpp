@@ -68,6 +68,116 @@ std::size_t campaign_chain_count(std::size_t config_count,
   return std::max<std::size_t>(1, std::min(workers, config_count));
 }
 
+CampaignPlan plan_campaign(const std::vector<bgp::Configuration>& configs,
+                           const CampaignRunnerOptions& options) {
+  CampaignPlan plan;
+  plan.warm_start = options.warm_start;
+  if (configs.empty()) return plan;
+
+  // 1. Memoization: one propagation per distinct announcement list, fanned
+  //    out to every configuration index that shares it.
+  if (options.memoize) {
+    std::unordered_map<std::string, std::size_t> by_key;
+    by_key.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto [it, inserted] =
+          by_key.emplace(announcement_key(configs[i]), plan.unique.size());
+      if (inserted) {
+        plan.unique.push_back(i);
+        plan.fanout.emplace_back();
+      }
+      plan.fanout[it->second].push_back(i);
+    }
+  } else {
+    plan.unique.resize(configs.size());
+    plan.fanout.resize(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      plan.unique[i] = i;
+      plan.fanout[i] = {i};
+    }
+  }
+  OBS_COUNT("campaign.unique_configs", plan.unique.size());
+  OBS_COUNT("campaign.memo_hits", configs.size() - plan.unique.size());
+
+  // 2. Similarity ordering over the unique configurations so consecutive
+  //    chain steps differ in as few seeds as possible.
+  std::vector<std::size_t> order(plan.unique.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options.order_chains && plan.unique.size() > 2 &&
+      plan.unique.size() <= options.max_ordering_configs) {
+    OBS_TIMER("campaign.order_ns");
+    std::vector<bgp::Configuration> view;
+    view.reserve(plan.unique.size());
+    for (std::size_t u : plan.unique) view.push_back(configs[u]);
+    order = order_by_similarity(view);
+    plan.ordered = true;
+  }
+
+  // 3. Chain partitioning. The chain count depends only on the worker
+  //    option and the unique-config count — never on who executes the plan
+  //    — so the barrier and pipelined drivers produce identical chains
+  //    (and therefore identical warm-start schedules and round counts).
+  const std::size_t chains =
+      std::min(campaign_chain_count(configs.size(), options),
+               plan.unique.size());
+  plan.chain_steps.resize(chains);
+  if (options.warm_start) {
+    // Contiguous runs of the ordered plan; only chain heads pay a cold
+    // propagation.
+    for (std::size_t c = 0; c < chains; ++c) {
+      const std::size_t begin = c * plan.unique.size() / chains;
+      const std::size_t end = (c + 1) * plan.unique.size() / chains;
+      plan.chain_steps[c].assign(order.begin() + begin, order.begin() + end);
+    }
+  } else {
+    // Cold baseline: strided static chains over unique configurations
+    // (every step is a cold run, so similarity order buys nothing).
+    for (std::size_t u = 0; u < plan.unique.size(); ++u) {
+      plan.chain_steps[u % chains].push_back(u);
+    }
+  }
+  return plan;
+}
+
+ChainStepper::ChainStepper(const bgp::Engine& engine,
+                           const bgp::OriginSpec& origin,
+                           const std::vector<bgp::Configuration>& configs,
+                           const CampaignPlan& plan, std::size_t chain)
+    : engine_(&engine),
+      origin_(&origin),
+      configs_(&configs),
+      plan_(&plan),
+      steps_(&plan.chain_steps[chain]) {}
+
+std::shared_ptr<bgp::RoutingOutcome> ChainStepper::step(
+    bool consume_baseline) {
+  const std::size_t u = (*steps_)[pos_++];
+  const bgp::Configuration& config = (*configs_)[plan_->unique[u]];
+  OBS_TIMER("campaign.config_ns");
+  // Each configuration's seed table is prepared exactly once and handed to
+  // the next step as the baseline table — chained warm runs never
+  // re-validate or rebuild one.
+  bgp::Engine::Prepared prep = engine_->prepare(*origin_, config);
+  std::shared_ptr<bgp::RoutingOutcome> outcome;
+  if (plan_->warm_start && prev_config_ != nullptr && prev_->converged) {
+    outcome = std::make_shared<bgp::RoutingOutcome>(engine_->run_warm_leased(
+        *origin_, config, prep, *prev_config_, *prev_prep_, prev_,
+        consume_baseline));
+    ++stats_.warm_runs;
+  } else {
+    outcome = std::make_shared<bgp::RoutingOutcome>(
+        engine_->run(*origin_, config, prep));
+    ++stats_.cold_runs;
+  }
+  stats_.total_rounds += outcome->rounds;
+  if (plan_->warm_start) {
+    prev_ = outcome;
+    prev_config_ = &config;
+    prev_prep_ = std::move(prep);
+  }
+  return outcome;
+}
+
 CampaignRunStats propagate_campaign(const bgp::Engine& engine,
                                     const bgp::OriginSpec& origin,
                                     const std::vector<bgp::Configuration>& configs,
@@ -80,119 +190,34 @@ CampaignRunStats propagate_campaign(const bgp::Engine& engine,
   stats.configs = configs.size();
   if (configs.empty()) return stats;
 
-  // 1. Memoization: one propagation per distinct announcement list, fanned
-  //    out to every configuration index that shares it.
-  std::vector<std::size_t> unique;                 // representative indices
-  std::vector<std::vector<std::size_t>> fanout;    // per unique: all indices
-  if (options.memoize) {
-    std::unordered_map<std::string, std::size_t> by_key;
-    by_key.reserve(configs.size());
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      const auto [it, inserted] =
-          by_key.emplace(announcement_key(configs[i]), unique.size());
-      if (inserted) {
-        unique.push_back(i);
-        fanout.emplace_back();
-      }
-      fanout[it->second].push_back(i);
-    }
-  } else {
-    unique.resize(configs.size());
-    fanout.resize(configs.size());
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      unique[i] = i;
-      fanout[i] = {i};
-    }
-  }
-  stats.unique_configs = unique.size();
-  stats.memo_hits = configs.size() - unique.size();
-  OBS_COUNT("campaign.unique_configs", stats.unique_configs);
-  OBS_COUNT("campaign.memo_hits", stats.memo_hits);
-
-  // 2. Similarity ordering over the unique configurations so consecutive
-  //    chain steps differ in as few seeds as possible.
-  std::vector<std::size_t> order(unique.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  if (options.order_chains && unique.size() > 2 &&
-      unique.size() <= options.max_ordering_configs) {
-    OBS_TIMER("campaign.order_ns");
-    std::vector<bgp::Configuration> view;
-    view.reserve(unique.size());
-    for (std::size_t u : unique) view.push_back(configs[u]);
-    order = order_by_similarity(view);
-    stats.ordered = true;
-  }
+  const CampaignPlan plan = plan_campaign(configs, options);
+  stats.unique_configs = plan.unique.size();
+  stats.memo_hits = configs.size() - plan.unique.size();
+  stats.ordered = plan.ordered;
 
   std::size_t workers =
       options.workers == 0 ? util::default_worker_count() : options.workers;
   workers = std::max<std::size_t>(workers, 1);
   OBS_GAUGE("campaign.workers", workers);
-
-  if (!options.warm_start) {
-    // Cold baseline: strided static chains over unique configurations, so
-    // the sink's per-chain serialization guarantee holds here too (chain c
-    // cold-propagates u = c, c + chains, ... serially).
-    const std::size_t chains = std::min(workers, unique.size());
-    OBS_COUNT("campaign.chains", chains);
-    std::vector<std::uint32_t> rounds(unique.size(), 0);
-    util::parallel_for(
-        chains,
-        [&](std::size_t c) {
-          for (std::size_t u = c; u < unique.size(); u += chains) {
-            OBS_TIMER("campaign.config_ns");
-            const bgp::RoutingOutcome outcome =
-                engine.run(origin, configs[unique[u]]);
-            rounds[u] = outcome.rounds;
-            for (std::size_t idx : fanout[u]) sink(c, idx, outcome);
-          }
-        },
-        chains);
-    stats.cold_runs = unique.size();
-    for (std::uint32_t r : rounds) stats.total_rounds += r;
-    return stats;
-  }
-
-  // 3. Warm-start chains: contiguous runs of the ordered plan, one per
-  //    worker; only chain heads pay a cold propagation.
-  const std::size_t chains = std::min(workers, unique.size());
+  const std::size_t chains = plan.chains();
   OBS_COUNT("campaign.chains", chains);
+
+  // Each chain runs to completion behind this call (the barrier driver);
+  // nothing leases an outcome past its sink call, so every warm step
+  // consumes its baseline.
   std::vector<CampaignRunStats> chain_stats(chains);
   util::parallel_for(
       chains,
       [&](std::size_t c) {
-        CampaignRunStats& cs = chain_stats[c];
-        const std::size_t begin = c * unique.size() / chains;
-        const std::size_t end = (c + 1) * unique.size() / chains;
-        OBS_HIST("campaign.chain_length", "configs", end - begin);
-        bgp::RoutingOutcome prev;
-        const bgp::Configuration* prev_config = nullptr;
-        std::optional<bgp::Engine::Prepared> prev_prep;
-        for (std::size_t pos = begin; pos < end; ++pos) {
-          const std::size_t u = order[pos];
-          const bgp::Configuration& config = configs[unique[u]];
-          OBS_TIMER("campaign.config_ns");
-          // Each configuration's seed table is prepared exactly once and
-          // handed to the next step as the baseline table — chained warm
-          // runs never re-validate or rebuild one.
-          bgp::Engine::Prepared prep = engine.prepare(origin, config);
-          bgp::RoutingOutcome outcome;
-          if (prev_config != nullptr && prev.converged) {
-            // The baseline is discarded after this step: let run_warm
-            // consume it (routing state AND path arena) instead of
-            // deep-copying every route.
-            outcome = engine.run_warm(origin, config, prep, *prev_config,
-                                      *prev_prep, std::move(prev));
-            ++cs.warm_runs;
-          } else {
-            outcome = engine.run(origin, config, prep);
-            ++cs.cold_runs;
-          }
-          cs.total_rounds += outcome.rounds;
-          for (std::size_t idx : fanout[u]) sink(c, idx, outcome);
-          prev = std::move(outcome);
-          prev_config = &config;
-          prev_prep = std::move(prep);
+        OBS_HIST("campaign.chain_length", "configs",
+                 plan.chain_steps[c].size());
+        ChainStepper stepper(engine, origin, configs, plan, c);
+        while (!stepper.done()) {
+          const std::size_t u = stepper.next_slot();
+          const auto outcome = stepper.step(/*consume_baseline=*/true);
+          for (std::size_t idx : plan.fanout[u]) sink(c, idx, *outcome);
         }
+        chain_stats[c] = stepper.stats();
       },
       chains);
   for (const CampaignRunStats& cs : chain_stats) {

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -119,6 +121,82 @@ using CampaignOutcomeSink =
 /// actual count). Size per-chain sink accumulators with this.
 std::size_t campaign_chain_count(std::size_t config_count,
                                  const CampaignRunnerOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Static campaign plan + resumable chain stepper
+//
+// propagate_campaign's memoize → order → chain logic, exposed as data so a
+// caller can drive the chains itself — the pipelined deploy path
+// (core/experiment) interleaves chain steps with measurement and analysis
+// through the pipeline executor instead of running chains to completion
+// behind a barrier. propagate_campaign itself is implemented on the same
+// plan + stepper, so both paths share one propagation schedule: chain
+// partitioning (and therefore every outcome, warm-start round count and
+// memo fan-out) is identical whichever driver runs it.
+// ---------------------------------------------------------------------------
+
+struct CampaignPlan {
+  /// Representative configuration index per distinct announcement list.
+  std::vector<std::size_t> unique;
+  /// Per unique slot: every configuration index sharing its outcome.
+  std::vector<std::vector<std::size_t>> fanout;
+  /// Per chain: the unique slots it propagates, in step order. Warm plans
+  /// take contiguous slices of the similarity order; cold plans stride over
+  /// the unique slots (matching the historical cold baseline).
+  std::vector<std::vector<std::size_t>> chain_steps;
+  bool warm_start = true;
+  bool ordered = false;  // similarity ordering was applied
+
+  std::size_t chains() const noexcept { return chain_steps.size(); }
+};
+
+/// Builds the campaign plan for `configs` under `options`: memoization,
+/// similarity ordering, chain partitioning. Pure planning — no propagation
+/// runs. chain_steps.size() == campaign_chain_count(configs.size(), options)
+/// clamped by the number of unique configurations.
+CampaignPlan plan_campaign(const std::vector<bgp::Configuration>& configs,
+                           const CampaignRunnerOptions& options = {});
+
+/// Steps one chain of a CampaignPlan: each step() propagates the chain's
+/// next unique slot (warm-started from the previous step when the plan
+/// says so) and returns the outcome as a shared_ptr the caller may lease
+/// to concurrent consumers. The plan and configs must outlive the stepper;
+/// a stepper is driven from one thread at a time (the executor's per-chain
+/// produce serialization provides exactly that).
+class ChainStepper {
+ public:
+  ChainStepper(const bgp::Engine& engine, const bgp::OriginSpec& origin,
+               const std::vector<bgp::Configuration>& configs,
+               const CampaignPlan& plan, std::size_t chain);
+
+  bool done() const noexcept { return pos_ >= steps_->size(); }
+  std::size_t position() const noexcept { return pos_; }
+  /// Unique slot the next step() will propagate (undefined when done()).
+  std::size_t next_slot() const noexcept { return (*steps_)[pos_]; }
+
+  /// Propagates the next step and returns its outcome. `consume_baseline`
+  /// declares that nobody will read the previous step's outcome again
+  /// (every lease was dropped), letting the engine move its routing state
+  /// and arena into the warm run; pass false while a lease is still live
+  /// and the engine deep-copies the baseline instead — results are
+  /// byte-identical either way (Engine::run_warm_leased).
+  std::shared_ptr<bgp::RoutingOutcome> step(bool consume_baseline);
+
+  /// Cold/warm run and round accounting for the steps taken so far.
+  const CampaignRunStats& stats() const noexcept { return stats_; }
+
+ private:
+  const bgp::Engine* engine_;
+  const bgp::OriginSpec* origin_;
+  const std::vector<bgp::Configuration>* configs_;
+  const CampaignPlan* plan_;
+  const std::vector<std::size_t>* steps_;
+  std::size_t pos_ = 0;
+  std::shared_ptr<bgp::RoutingOutcome> prev_;
+  const bgp::Configuration* prev_config_ = nullptr;
+  std::optional<bgp::Engine::Prepared> prev_prep_;
+  CampaignRunStats stats_;
+};
 
 /// Propagates every configuration of a campaign through the engine using
 /// memoization + similarity-ordered warm-start chains (see above) and

@@ -1,11 +1,15 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "core/campaign.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/pipeline.hpp"
 #include "topology/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -226,6 +230,36 @@ DeploymentResult PeeringTestbed::deploy(
     }
   }
 
+  // Streaming only pays off when there is a measurement stage to overlap
+  // and more than one configuration to stream; otherwise barrier mode is
+  // the same work without the executor.
+  const bool streaming = config_.pipeline != PipelineMode::kOff &&
+                         config_.measured_catchments && n > 1;
+  if (streaming) {
+    deploy_pipelined(result, abandoned, faulty);
+  } else {
+    deploy_barrier(result, abandoned, faulty);
+  }
+
+  if (faulty) {
+    std::uint64_t degraded = 0;
+    std::uint64_t failed = 0;
+    for (const fault::ConfigQuality& q : result.quality) {
+      degraded += q.grade == fault::Grade::kDegraded ? 1 : 0;
+      failed += q.grade == fault::Grade::kFailed ? 1 : 0;
+    }
+    OBS_COUNT("measure.degraded.configs", degraded);
+    OBS_COUNT("measure.degraded.failed_configs", failed);
+  }
+  return result;
+}
+
+void PeeringTestbed::deploy_barrier(DeploymentResult& result,
+                                    const std::vector<char>& abandoned,
+                                    bool faulty) const {
+  const std::size_t n = result.configs.size();
+  const std::size_t as_count = topo_.graph.size();
+
   // Propagation runs through the campaign runner: memoized, ordered by
   // seed similarity, warm-started along per-worker chains (cold per-config
   // when warm_campaign is off). Outcomes are bit-identical either way; the
@@ -374,17 +408,6 @@ DeploymentResult PeeringTestbed::deploy(
     }
   }
 
-  if (faulty) {
-    std::uint64_t degraded = 0;
-    std::uint64_t failed = 0;
-    for (const fault::ConfigQuality& q : result.quality) {
-      degraded += q.grade == fault::Grade::kDegraded ? 1 : 0;
-      failed += q.grade == fault::Grade::kFailed ? 1 : 0;
-    }
-    OBS_COUNT("measure.degraded.configs", degraded);
-    OBS_COUNT("measure.degraded.failed_configs", failed);
-  }
-
   // Analysis sources (§IV-d) and the catchment matrix.
   if (config_.measured_catchments) {
     if (!result.measured.empty()) {
@@ -424,7 +447,258 @@ DeploymentResult PeeringTestbed::deploy(
     }
     OBS_GAUGE("analysis.matrix_bytes", result.matrix.size_bytes());
   }
-  return result;
+}
+
+void PeeringTestbed::deploy_pipelined(DeploymentResult& result,
+                                      const std::vector<char>& abandoned,
+                                      bool faulty) const {
+  OBS_COUNT("deploy.pipelined_runs", 1);
+  const std::size_t n = result.configs.size();
+  const std::size_t as_count = topo_.graph.size();
+
+  // Same plan as the barrier path: chain partitioning depends only on the
+  // runner options and the unique-config count, never on the executor, so
+  // every propagation (and therefore every outcome and round count) is
+  // identical to deploy_barrier's.
+  CampaignRunnerOptions runner;
+  runner.warm_start = config_.warm_campaign;
+  const CampaignPlan plan = plan_campaign(result.configs, runner);
+  const std::size_t chains = plan.chains();
+  const std::size_t unique_count = plan.unique.size();
+
+  pipeline::ExecutorOptions exec;
+  exec.workers = config_.measure_workers;
+  exec.queue_depth = config_.pipeline_depth;
+  const std::size_t workers = pipeline::effective_workers(exec);
+
+  // Executor graph: produce = one warm-chain propagation step, work = the
+  // §IV measurement of one configuration, commit = its analysis row. Every
+  // configuration index is an item (abandoned ones no-op their work stage
+  // so the commit order stays the full ascending index sequence).
+  pipeline::GraphPlan graph;
+  graph.items = n;
+  graph.chain_steps.resize(chains);
+  std::vector<std::size_t> slot_of(n, 0);  // config index -> unique slot
+  for (std::size_t c = 0; c < chains; ++c) {
+    graph.chain_steps[c].reserve(plan.chain_steps[c].size());
+    for (const std::size_t u : plan.chain_steps[c]) {
+      graph.chain_steps[c].push_back(plan.fanout[u]);
+      for (const std::size_t idx : plan.fanout[u]) slot_of[idx] = u;
+    }
+  }
+
+  // Streaming handoff: the produce stage leases its outcome to the step's
+  // measurement items through a Handoff slot. The first work item to run
+  // extracts the feed snapshot and probe paths into recycled buffers and
+  // drops the outcome (release-publishing `extracted` so the chain may
+  // consume — move, not copy — its warm baseline on the next step); the
+  // last of the step's live items returns the buffers to the pool. Peak
+  // memory is therefore O(chains * queue_depth) outcomes/snapshots instead
+  // of O(n), even with a single worker.
+  struct HandoffBuffers {
+    std::vector<measure::FeedEntry> feeds;
+    measure::ProbePathSet paths;
+  };
+  struct Handoff {
+    std::shared_ptr<bgp::RoutingOutcome> outcome;
+    std::once_flag once;
+    std::atomic<bool> extracted{false};
+    std::unique_ptr<HandoffBuffers> buffers;
+    std::atomic<std::uint32_t> remaining{0};
+  };
+  std::vector<Handoff> handoffs(unique_count);
+
+  class BufferPool {
+   public:
+    std::unique_ptr<HandoffBuffers> acquire() {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++live_;
+      peak_ = std::max(peak_, live_);
+      if (free_.empty()) return std::make_unique<HandoffBuffers>();
+      auto buffers = std::move(free_.back());
+      free_.pop_back();
+      return buffers;
+    }
+    void release(std::unique_ptr<HandoffBuffers> buffers) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --live_;
+      free_.push_back(std::move(buffers));
+    }
+    std::size_t peak() const noexcept { return peak_; }
+
+   private:
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<HandoffBuffers>> free_;
+    std::size_t live_ = 0;
+    std::size_t peak_ = 0;
+  };
+  BufferPool pool;
+
+  // Per-chain propagation state (produce calls for one chain are
+  // serialized by the executor) and per-chain distance accumulators, as in
+  // barrier mode.
+  std::vector<ChainStepper> steppers;
+  steppers.reserve(chains);
+  for (std::size_t c = 0; c < chains; ++c) {
+    steppers.emplace_back(engine_, origin_, result.configs, plan, c);
+  }
+  std::vector<Handoff*> last_handoff(chains, nullptr);
+  std::vector<std::vector<std::uint32_t>> chain_min_distance(chains);
+
+  measure::MeasurementDriverOptions driver_options;
+  driver_options.workers = config_.measure_workers;
+  driver_options.traceroute_rounds = config_.traceroute_rounds;
+  const measure::MeasurementDriver driver(tracer_, repair_, inference_,
+                                          probes_, origin_id_,
+                                          driver_options);
+  std::vector<measure::MeasurementDriver::Scratch> scratch(workers);
+  std::vector<std::vector<measure::FeedEntry>> degraded_feeds(workers);
+  std::vector<fault::ConfigQuality> measured_quality;
+  if (faulty) measured_quality.assign(n, {});
+
+  // Commit-stage state: commits run serialized in ascending config order,
+  // so the first live configuration anchors the source set before any later
+  // row is written — exactly build_matrix's shape.
+  bool anchored = false;
+  double multi = 0.0;
+  double coverage = 0.0;
+  measure::InferenceResult missing;  // shared template for abandoned rows
+  missing.catchments.link_of.assign(as_count, bgp::kNoCatchment);
+  missing.observed.assign(as_count, 0);
+
+  pipeline::Stages stages;
+  stages.produce = [&](std::size_t chain, std::size_t) {
+    ChainStepper& stepper = steppers[chain];
+    const std::size_t u = stepper.next_slot();
+    Handoff* prev = last_handoff[chain];
+    // Consume the warm baseline only once its lease is provably dropped
+    // (acquire pairs with the extractor's release); otherwise the engine
+    // copies it — byte-identical either way.
+    const bool consume =
+        prev == nullptr || prev->extracted.load(std::memory_order_acquire);
+    const std::shared_ptr<bgp::RoutingOutcome> outcome =
+        stepper.step(consume);
+    if (!outcome->converged) {
+      throw std::runtime_error(
+          "routing did not converge for '" +
+          result.configs[plan.unique[u]].label + "'");
+    }
+
+    auto& distances = chain_min_distance[chain];
+    if (distances.empty()) distances.assign(as_count, topology::kUnreachable);
+    for (topology::AsId id = 0; id < as_count; ++id) {
+      const bgp::Route& route = outcome->best[id];
+      if (route.valid()) {
+        distances[id] = std::min(
+            distances[id],
+            collapsed_distance(outcome->paths->view(route.path), origin_.asn));
+      }
+    }
+
+    std::uint32_t live = 0;
+    for (const std::size_t idx : plan.fanout[u]) {
+      OBS_TIMER("deploy.config_pipeline_ns");
+      const bgp::Configuration& config = result.configs[idx];
+      result.engine_rounds[idx] = outcome->rounds;
+      result.truth[idx] = bgp::extract_catchments(*outcome, config);
+      if (config_.audit_policies) {
+        result.compliance[idx] =
+            audit_compliance(engine_, origin_, config, *outcome);
+      }
+      live += abandoned[idx] ? 0u : 1u;
+    }
+
+    if (live > 0) {
+      Handoff& handoff = handoffs[u];
+      handoff.outcome = outcome;
+      handoff.remaining.store(live, std::memory_order_relaxed);
+      last_handoff[chain] = &handoff;
+    } else {
+      // Nothing will measure this step, so no lease exists: the next step
+      // may consume the baseline outright.
+      last_handoff[chain] = nullptr;
+    }
+  };
+
+  stages.work = [&](std::size_t i, std::size_t worker) {
+    if (abandoned[i]) return;
+    Handoff& handoff = handoffs[slot_of[i]];
+    std::call_once(handoff.once, [&] {
+      handoff.buffers = pool.acquire();
+      feeds_.collect_into(*handoff.outcome, handoff.buffers->feeds);
+      measure::ProbePathSet::extract_into(*handoff.outcome, probes_,
+                                          origin_id_, handoff.buffers->paths);
+      handoff.outcome.reset();
+      handoff.extracted.store(true, std::memory_order_release);
+    });
+    const std::vector<measure::FeedEntry>* feeds = &handoff.buffers->feeds;
+    std::uint32_t feed_faults = 0;
+    if (config_.faults.any_feed()) {
+      // Collector faults filter the (possibly shared) clean snapshot per
+      // configuration; degrade is stateless in i, so memo fan-out sharing
+      // stays deterministic.
+      std::vector<measure::FeedEntry>& buffer = degraded_feeds[worker];
+      measure::FeedSimulator::degrade_into(handoff.buffers->feeds, injector_,
+                                           i, origin_.asn, &feed_faults,
+                                           buffer);
+      feeds = &buffer;
+    }
+    fault::ConfigQuality* quality = faulty ? &measured_quality[i] : nullptr;
+    if (quality != nullptr) quality->feed_faults = feed_faults;
+    result.measured[i] =
+        driver.measure_one(i, *feeds, handoff.buffers->paths, scratch[worker],
+                           quality);
+    if (handoff.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pool.release(std::move(handoff.buffers));
+    }
+  };
+
+  stages.commit = [&](std::size_t i) {
+    if (abandoned[i]) {
+      // Sized-but-empty inference: nothing observed, row stays all-missing.
+      result.measured[i] = missing;
+    } else {
+      if (faulty) {
+        merge_quality(result.quality[i], measured_quality[i], config_.faults);
+      }
+      const measure::InferenceResult& inferred = result.measured[i];
+      if (!anchored) {
+        anchored = true;
+        result.sources = measure::baseline_sources(inferred);
+        result.matrix.assign(n, result.sources.size());
+      }
+      for (std::size_t s = 0; s < result.sources.size(); ++s) {
+        const topology::AsId id = result.sources[s];
+        if (inferred.observed[id]) {
+          result.matrix.set(i, s, inferred.catchments.link_of[id]);
+        }
+      }
+    }
+    multi += result.measured[i].multi_catchment_fraction;
+    coverage += static_cast<double>(result.measured[i].covered_count);
+  };
+
+  pipeline::run_graph(graph, stages, exec);
+  OBS_GAUGE("pipeline.buffer_peak", pool.peak());
+
+  // Post-run reductions, identical to barrier mode's epilogue.
+  result.min_route_distance.assign(as_count, topology::kUnreachable);
+  for (const auto& chain : chain_min_distance) {
+    if (chain.empty()) continue;
+    for (topology::AsId id = 0; id < as_count; ++id) {
+      result.min_route_distance[id] =
+          std::min(result.min_route_distance[id], chain[id]);
+    }
+  }
+
+  // With every configuration abandoned no row ever anchored the sources:
+  // the matrix has n rows and zero columns, as in barrier mode.
+  if (!anchored) result.matrix.assign(n, 0);
+  OBS_GAUGE("deploy.sources", result.sources.size());
+  measure::impute_missing(result.matrix);
+  OBS_GAUGE("analysis.matrix_bytes", result.matrix.size_bytes());
+  result.mean_multi_catchment = multi / static_cast<double>(n);
+  result.mean_coverage = coverage / static_cast<double>(n);
 }
 
 }  // namespace spooftrack::core

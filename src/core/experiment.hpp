@@ -32,6 +32,19 @@
 
 namespace spooftrack::core {
 
+/// How PeeringTestbed::deploy schedules propagation, measurement and
+/// analysis (docs/architecture.md, "Pipelined execution"):
+///   kOff  — barrier mode: propagate the whole campaign, then measure every
+///           configuration, then build the matrix.
+///   kOn   — streaming mode: the pipeline executor overlaps propagation of
+///           configuration i+1 with measurement of i and the analysis
+///           commit of i-1 (falls back to barrier when there is nothing to
+///           overlap: ground-truth deployments or fewer than 2 configs).
+///   kAuto — streaming whenever it applies, barrier otherwise (default).
+/// Results are byte-identical across all three for any worker count and
+/// queue depth; tests/test_pipeline.cpp pins the equivalence.
+enum class PipelineMode : std::uint8_t { kOff = 0, kOn = 1, kAuto = 2 };
+
 /// Table I: the PEERING muxes and transit providers used in the paper.
 struct MuxInfo {
   const char* mux;
@@ -88,10 +101,18 @@ struct TestbedConfig {
   std::uint32_t ixp_count = 12;
   double ixp_edge_fraction = 0.5;
 
-  /// Worker threads for the parallel measurement driver (0 = the
+  /// Worker threads for the parallel measurement driver — and, in
+  /// streaming mode, for the pipeline executor (0 = the
   /// util::default_worker_count() default). Results are byte-identical for
   /// any value.
   std::size_t measure_workers = 0;
+
+  /// Deploy scheduling mode (see PipelineMode above).
+  PipelineMode pipeline = PipelineMode::kAuto;
+  /// Streaming-mode backpressure: how many propagated-but-unmeasured steps
+  /// each chain may run ahead (pipeline::ExecutorOptions::queue_depth).
+  /// Bounds peak memory; never changes results. Values below 1 clamp to 1.
+  std::size_t pipeline_depth = 2;
 
   /// true: catchments come from the measured pipeline (§IV); false: ground
   /// truth from the routing engine (for validation and ablations).
@@ -173,6 +194,14 @@ class PeeringTestbed {
   DeploymentResult deploy(std::vector<bgp::Configuration> configs) const;
 
  private:
+  /// Barrier schedule: propagate everything, measure everything, analyse.
+  void deploy_barrier(DeploymentResult& result,
+                      const std::vector<char>& abandoned, bool faulty) const;
+  /// Streaming schedule: pipeline executor overlapping propagation,
+  /// measurement and analysis commits. Byte-identical to deploy_barrier.
+  void deploy_pipelined(DeploymentResult& result,
+                        const std::vector<char>& abandoned, bool faulty) const;
+
   TestbedConfig config_;
   topology::SynthTopology topo_;
   bgp::OriginSpec origin_;

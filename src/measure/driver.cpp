@@ -12,29 +12,26 @@ ProbePathSet ProbePathSet::extract(const bgp::RoutingOutcome& outcome,
                                    std::span<const topology::AsId> probes,
                                    topology::AsId origin) {
   ProbePathSet set;
-  set.offsets.reserve(probes.size() + 1);
-  set.offsets.push_back(0);
-  for (topology::AsId probe : probes) {
-    const auto path = bgp::forwarding_path(outcome, probe, origin);
-    set.flat.insert(set.flat.end(), path.begin(), path.end());
-    set.offsets.push_back(static_cast<std::uint32_t>(set.flat.size()));
-  }
+  extract_into(outcome, probes, origin, set);
   return set;
 }
 
-namespace {
-
-/// Everything one worker slot reuses across its tasks. Traceroute hop
-/// storage, repair indexes, and inference vote buffers reach a steady
-/// state after the first task; later tasks allocate only their results.
-struct SlotScratch {
-  std::vector<Traceroute> traces;
-  std::vector<AsLevelPath> repaired;
-  PathRepair::Scratch repair;
-  CatchmentInference::Scratch inference;
-};
-
-}  // namespace
+void ProbePathSet::extract_into(const bgp::RoutingOutcome& outcome,
+                                std::span<const topology::AsId> probes,
+                                topology::AsId origin, ProbePathSet& set) {
+  set.flat.clear();
+  set.offsets.clear();
+  set.offsets.reserve(probes.size() + 1);
+  set.offsets.push_back(0);
+  // One recycled walk buffer for every probe: forwarding_path_into clears
+  // it per call, so only the first few probes grow it.
+  thread_local std::vector<topology::AsId> walk;
+  for (topology::AsId probe : probes) {
+    bgp::forwarding_path_into(outcome, probe, origin, walk);
+    set.flat.insert(set.flat.end(), walk.begin(), walk.end());
+    set.offsets.push_back(static_cast<std::uint32_t>(set.flat.size()));
+  }
+}
 
 MeasurementDriver::MeasurementDriver(const TracerouteSim& tracer,
                                      const PathRepair& repair,
@@ -48,6 +45,38 @@ MeasurementDriver::MeasurementDriver(const TracerouteSim& tracer,
       probes_(probes),
       origin_(origin),
       options_(options) {}
+
+InferenceResult MeasurementDriver::measure_one(
+    std::size_t config_index, const std::vector<FeedEntry>& feeds,
+    const ProbePathSet& paths, Scratch& scratch,
+    fault::ConfigQuality* quality) const {
+  OBS_TIMER("measure.driver.config_ns");
+  const std::uint32_t rounds = options_.traceroute_rounds;
+  const std::size_t probe_count = probes_.size();
+  Scratch& s = scratch;
+  if (s.traces.size() != probe_count * rounds) {
+    s.traces.resize(probe_count * rounds);
+  }
+  std::size_t k = 0;
+  for (std::size_t p = 0; p < probe_count; ++p) {
+    const auto path = paths.path(p);
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+      tracer_.run_on_path(path, probes_[p], origin_,
+                          util::hash_combine(config_index, round),
+                          s.traces[k++]);
+    }
+  }
+  OBS_COUNT("measure.driver.traceroutes", s.traces.size());
+  if (quality != nullptr) {
+    quality->feed_entries = static_cast<std::uint32_t>(feeds.size());
+    quality->traces = static_cast<std::uint32_t>(s.traces.size());
+    for (const Traceroute& trace : s.traces) {
+      quality->trace_faults += trace.fault != 0 ? 1u : 0u;
+    }
+  }
+  repair_.repair(s.traces, feeds, s.repair, s.repaired);
+  return inference_.infer(feeds, s.repaired, s.inference);
+}
 
 std::vector<InferenceResult> MeasurementDriver::run(
     std::span<const MeasurementTask> tasks,
@@ -63,39 +92,16 @@ std::vector<InferenceResult> MeasurementDriver::run(
   OBS_GAUGE("measure.driver.workers", slots);
   OBS_COUNT("measure.driver.tasks", tasks.size());
 
-  const std::uint32_t rounds = options_.traceroute_rounds;
-  const std::size_t probe_count = probes_.size();
-  std::vector<SlotScratch> scratch(slots);
+  std::vector<Scratch> scratch(slots);
 
   auto run_slot = [&](std::size_t slot) {
-    SlotScratch& s = scratch[slot];
+    Scratch& s = scratch[slot];
     for (std::size_t t = slot; t < tasks.size(); t += slots) {
-      OBS_TIMER("measure.driver.config_ns");
       const MeasurementTask& task = tasks[t];
-      if (s.traces.size() != probe_count * rounds) {
-        s.traces.resize(probe_count * rounds);
-      }
-      std::size_t k = 0;
-      for (std::size_t p = 0; p < probe_count; ++p) {
-        const auto path = task.probe_paths->path(p);
-        for (std::uint32_t round = 0; round < rounds; ++round) {
-          tracer_.run_on_path(path, probes_[p], origin_,
-                              util::hash_combine(task.config_index, round),
-                              s.traces[k++]);
-        }
-      }
-      OBS_COUNT("measure.driver.traceroutes", s.traces.size());
-      if (quality != nullptr) {
-        fault::ConfigQuality& q = (*quality)[t];
-        q.feed_entries = static_cast<std::uint32_t>(task.feeds->size());
-        q.feed_faults = task.feed_faults;
-        q.traces = static_cast<std::uint32_t>(s.traces.size());
-        for (const Traceroute& trace : s.traces) {
-          q.trace_faults += trace.fault != 0 ? 1u : 0u;
-        }
-      }
-      repair_.repair(s.traces, *task.feeds, s.repair, s.repaired);
-      results[t] = inference_.infer(*task.feeds, s.repaired, s.inference);
+      fault::ConfigQuality* q = quality != nullptr ? &(*quality)[t] : nullptr;
+      if (q != nullptr) q->feed_faults = task.feed_faults;
+      results[t] = measure_one(task.config_index, *task.feeds,
+                               *task.probe_paths, s, q);
     }
   };
 

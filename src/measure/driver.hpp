@@ -45,6 +45,13 @@ struct ProbePathSet {
   static ProbePathSet extract(const bgp::RoutingOutcome& outcome,
                               std::span<const topology::AsId> probes,
                               topology::AsId origin);
+
+  /// As `extract`, rebuilding into `set`'s existing buffers (streaming
+  /// handoff recycling: the pipelined deploy keeps a small pool of path
+  /// sets instead of one snapshot per configuration).
+  static void extract_into(const bgp::RoutingOutcome& outcome,
+                           std::span<const topology::AsId> probes,
+                           topology::AsId origin, ProbePathSet& set);
 };
 
 /// One configuration's measurement inputs, snapshotted at propagation time.
@@ -70,12 +77,35 @@ struct MeasurementDriverOptions {
 
 class MeasurementDriver {
  public:
+  /// Everything one worker reuses across measure_one calls. Traceroute hop
+  /// storage, repair indexes, and inference vote buffers reach a steady
+  /// state after the first configuration; reuse never changes results
+  /// (every component resets its buffers per call).
+  struct Scratch {
+    std::vector<Traceroute> traces;
+    std::vector<AsLevelPath> repaired;
+    PathRepair::Scratch repair;
+    CatchmentInference::Scratch inference;
+  };
+
   /// The referenced components and probe list must outlive the driver.
   MeasurementDriver(const TracerouteSim& tracer, const PathRepair& repair,
                     const CatchmentInference& inference,
                     std::span<const topology::AsId> probes,
                     topology::AsId origin,
                     MeasurementDriverOptions options = {});
+
+  /// Runs the full §IV pipeline for one configuration: traceroute batch
+  /// (salts derive from `config_index` and the round, nothing else) →
+  /// §IV-b repair → catchment inference. The unit of work both run() and
+  /// the pipelined deploy path fan out — one call, one configuration, one
+  /// scratch. When `quality` is non-null its feed/trace accounting fields
+  /// are filled (feed_faults is the caller's: the driver only sees the
+  /// surviving entries); the grade is left untouched.
+  InferenceResult measure_one(std::size_t config_index,
+                              const std::vector<FeedEntry>& feeds,
+                              const ProbePathSet& paths, Scratch& scratch,
+                              fault::ConfigQuality* quality = nullptr) const;
 
   /// Runs the measurement pipeline for every task; results in task order.
   /// When `quality` is non-null it is resized to tasks.size() and filled

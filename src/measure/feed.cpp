@@ -45,23 +45,31 @@ FeedSimulator::FeedSimulator(const topology::AsGraph& graph,
 
 std::vector<FeedEntry> FeedSimulator::collect(
     const bgp::RoutingOutcome& outcome) const {
-  OBS_TIMER("measure.feed.collect_ns");
   std::vector<FeedEntry> entries;
   entries.reserve(peers_.size());
+  collect_into(outcome, entries);
+  return entries;
+}
+
+void FeedSimulator::collect_into(const bgp::RoutingOutcome& outcome,
+                                 std::vector<FeedEntry>& entries) const {
+  OBS_TIMER("measure.feed.collect_ns");
+  std::size_t count = 0;
   for (topology::AsId peer : peers_) {
     const bgp::Route& route = outcome.best[peer];
     if (!route.valid()) continue;
-    FeedEntry entry;
+    if (count == entries.size()) entries.emplace_back();
+    FeedEntry& entry = entries[count++];
     entry.peer = peer;
+    entry.as_path.clear();
     entry.as_path.reserve(outcome.paths->length(route.path) + 1);
     entry.as_path.push_back(graph_.asn_of(peer));
     for (const topology::Asn asn : outcome.paths->view(route.path)) {
       entry.as_path.push_back(asn);
     }
-    entries.push_back(std::move(entry));
   }
+  entries.resize(count);
   OBS_COUNT("measure.feed.entries", entries.size());
-  return entries;
 }
 
 std::vector<FeedEntry> FeedSimulator::degrade(
@@ -70,13 +78,26 @@ std::vector<FeedEntry> FeedSimulator::degrade(
     topology::Asn origin_asn, std::uint32_t* faulted) {
   std::vector<FeedEntry> out;
   out.reserve(entries.size());
+  degrade_into(entries, injector, salt, origin_asn, faulted, out);
+  return out;
+}
+
+void FeedSimulator::degrade_into(const std::vector<FeedEntry>& entries,
+                                 const fault::FaultInjector& injector,
+                                 std::uint64_t salt,
+                                 topology::Asn origin_asn,
+                                 std::uint32_t* faulted,
+                                 std::vector<FeedEntry>& out) {
+  std::size_t count = 0;
   for (const FeedEntry& entry : entries) {
     if (injector.fires(fault::Site::kFeedOutage, salt, entry.peer)) {
       OBS_COUNT("fault.feed.outages", 1);
       if (faulted != nullptr) ++*faulted;
       continue;
     }
-    FeedEntry copy = entry;
+    if (count == out.size()) out.emplace_back();
+    FeedEntry& copy = out[count++];
+    copy = entry;  // vector assignment recycles the slot's path storage
     if (injector.fires(fault::Site::kFeedStale, salt, entry.peer)) {
       // Stale RIB snapshot: the path the collector dumped predates the
       // announcement, so everything from the seed onward is missing. The
@@ -88,9 +109,8 @@ std::vector<FeedEntry> FeedSimulator::degrade(
       OBS_COUNT("fault.feed.stale", 1);
       if (faulted != nullptr) ++*faulted;
     }
-    out.push_back(std::move(copy));
   }
-  return out;
+  out.resize(count);
 }
 
 }  // namespace spooftrack::measure

@@ -40,6 +40,13 @@ class FeedSimulator {
   /// route. Thread-safe (const, no mutable state).
   std::vector<FeedEntry> collect(const bgp::RoutingOutcome& outcome) const;
 
+  /// As `collect`, overwriting `entries` in place: surviving slots (and
+  /// their AS-path storage) are recycled, so a streaming deploy reuses a
+  /// small buffer pool instead of allocating one snapshot per
+  /// configuration. Output is identical to collect().
+  void collect_into(const bgp::RoutingOutcome& outcome,
+                    std::vector<FeedEntry>& entries) const;
+
   /// Applies deterministic collector faults to a clean snapshot: per
   /// (salt, peer), an *outage* drops the peer's entry entirely and a
   /// *stale* snapshot truncates its AS-path before the first occurrence of
@@ -55,6 +62,15 @@ class FeedSimulator {
                                         std::uint64_t salt,
                                         topology::Asn origin_asn,
                                         std::uint32_t* faulted = nullptr);
+
+  /// As `degrade`, writing the surviving entries into `out` (overwritten in
+  /// place, slot storage recycled). `out` must not alias `entries`. Output
+  /// is identical to degrade().
+  static void degrade_into(const std::vector<FeedEntry>& entries,
+                           const fault::FaultInjector& injector,
+                           std::uint64_t salt, topology::Asn origin_asn,
+                           std::uint32_t* faulted,
+                           std::vector<FeedEntry>& out);
 
  private:
   const topology::AsGraph& graph_;

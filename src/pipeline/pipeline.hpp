@@ -1,0 +1,81 @@
+// spooftrack::pipeline — a small deterministic task-graph executor for
+// producer/worker/committer stage graphs.
+//
+// The campaign deploy path is inherently a pipeline: propagation of
+// configuration i+1 can overlap measurement of configuration i and the
+// analysis commit of configuration i-1. This executor expresses that shape
+// once, with the determinism contract the rest of the codebase already
+// follows: every task writes only state it owns (produce: per-chain state,
+// work: the item's own output slot, commit: globally serialized state), so
+// the assembled result is byte-identical for any worker count and any
+// queue depth — scheduling freedom never reaches the outputs.
+//
+// Stage semantics over a static GraphPlan:
+//
+//   produce(chain, step)   serial per chain, ascending step order; step s+1
+//                          of a chain never starts before step s returned.
+//                          Different chains may produce concurrently.
+//   work(item, worker)     runs once the step that lists the item has been
+//                          produced; items run concurrently and in any
+//                          order. `worker` < effective_workers(options) is
+//                          a stable scratch-slot id for the executing
+//                          worker (scratch reuse must be result-neutral,
+//                          as with measure::MeasurementDriver).
+//   commit(item)           serialized, globally ascending item order:
+//                          commit(i) runs after work(i) completed and
+//                          commit(i-1) returned.
+//
+// Backpressure: a chain may have at most `queue_depth` produced steps with
+// not-yet-worked items outstanding; producing further steps blocks until a
+// step drains. This bounds the live measurement snapshots per chain. The
+// scheduler is deadlock-free: when every chain is blocked on backpressure
+// there is by definition workable inventory, workers prefer commits over
+// work over produce, and the smallest uncommitted item is always
+// eventually reachable.
+//
+// Exceptions: the first stage exception wins; no new task is claimed,
+// running tasks drain, and run_graph rethrows on the caller. With
+// effective_workers == 1 the whole graph runs inline on the calling
+// thread — no threads are spawned and no synchronization is paid.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace spooftrack::pipeline {
+
+struct ExecutorOptions {
+  /// Worker threads including the caller (0 = util::default_worker_count()).
+  std::size_t workers = 0;
+  /// Per-chain bound on produced-but-not-fully-worked steps (min 1).
+  std::size_t queue_depth = 2;
+};
+
+/// Resolved worker count run_graph will use: options.workers, defaulted
+/// and clamped to >= 1. Size per-worker scratch arrays with this.
+std::size_t effective_workers(const ExecutorOptions& options) noexcept;
+
+/// Static stage graph: chain_steps[chain][step] lists the item ids that
+/// step makes workable. Every item id in [0, items) must appear exactly
+/// once across all steps of all chains (steps may be empty).
+struct GraphPlan {
+  std::vector<std::vector<std::vector<std::size_t>>> chain_steps;
+  std::size_t items = 0;
+
+  std::size_t chains() const noexcept { return chain_steps.size(); }
+};
+
+struct Stages {
+  std::function<void(std::size_t chain, std::size_t step)> produce;
+  std::function<void(std::size_t item, std::size_t worker)> work;
+  std::function<void(std::size_t item)> commit;
+};
+
+/// Runs the graph to completion (or first exception). Any stage callback
+/// may be empty (treated as a no-op). Throws std::invalid_argument when
+/// the plan's item ids do not form a permutation of [0, items).
+void run_graph(const GraphPlan& plan, const Stages& stages,
+               const ExecutorOptions& options = {});
+
+}  // namespace spooftrack::pipeline

@@ -21,11 +21,11 @@ constexpr long kMaxEnvWorkers = 1 << 16;
 
 }  // namespace
 
-std::size_t default_worker_count() noexcept {
+std::optional<std::size_t> env_worker_override() noexcept {
   if (const char* env = std::getenv("SPOOFTRACK_THREADS")) {
     // Accept only a clean positive integer: the whole string must parse and
     // the value must be in range. "8abc", "", "-3", "0" and overflowing
-    // values all fall back to hardware concurrency.
+    // values are all rejected.
     char* end = nullptr;
     errno = 0;
     const long parsed = std::strtol(env, &end, 10);
@@ -34,6 +34,11 @@ std::size_t default_worker_count() noexcept {
       return static_cast<std::size_t>(parsed);
     }
   }
+  return std::nullopt;
+}
+
+std::size_t default_worker_count() noexcept {
+  if (const auto env = env_worker_override()) return *env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
@@ -80,9 +85,14 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-WorkerPool::WorkerPool(std::size_t threads) {
-  threads_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+WorkerPool::WorkerPool(std::size_t threads) : target_threads_(threads) {}
+
+void WorkerPool::ensure_spawned() {
+  // First multi-task batch: spawn the workers. run() is documented as
+  // driven from one thread at a time, so no lock is needed here.
+  if (!threads_.empty()) return;
+  threads_.reserve(target_threads_);
+  for (std::size_t i = 0; i < target_threads_; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -132,10 +142,13 @@ void WorkerPool::worker_loop() {
 void WorkerPool::run(std::size_t tasks,
                      const std::function<void(std::size_t)>& fn) {
   if (tasks == 0) return;
-  if (threads_.empty() || tasks == 1) {
+  // Effective worker count 1 (no pool threads, or nothing to share): run
+  // the batch inline — no spawns, no wakeups, no cv round-trips.
+  if (target_threads_ == 0 || tasks == 1) {
     for (std::size_t i = 0; i < tasks; ++i) fn(i);
     return;
   }
+  ensure_spawned();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_count_ = tasks;

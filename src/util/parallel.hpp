@@ -13,6 +13,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,13 @@ namespace spooftrack::util {
 /// (no trailing garbage, in range), else falls back to
 /// hardware_concurrency.
 std::size_t default_worker_count() noexcept;
+
+/// The SPOOFTRACK_THREADS override, if the variable is set to a clean
+/// positive integer (same validation as default_worker_count); nullopt when
+/// unset or malformed. Exposed so CLI flag handling can detect — and reject
+/// — a --workers value conflicting with the environment (docs/cli.md,
+/// "Worker-count precedence").
+std::optional<std::size_t> env_worker_override() noexcept;
 
 /// Runs fn(i) for i in [0, count) across `workers` threads (0 = default).
 /// Blocks until all iterations complete. Exceptions in tasks are rethrown
@@ -42,21 +50,28 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
 /// Exceptions propagate like parallel_for (first wins, batch still drains).
 class WorkerPool {
  public:
-  /// Spawns `threads` persistent workers (0 is allowed: run() then executes
-  /// everything on the calling thread).
+  /// A pool of `threads` persistent workers (0 is allowed: run() then
+  /// executes everything on the calling thread). Threads are spawned
+  /// lazily, on the first run() that can actually use them — a pool whose
+  /// batches all turn out to be single-task (or a pool constructed on a
+  /// single-core host by a worker-count heuristic) never pays thread
+  /// creation, wakeups, or join-at-destruction.
   explicit WorkerPool(std::size_t threads);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  std::size_t threads() const noexcept { return threads_.size(); }
+  /// The pool's worker-thread count (the constructor argument), whether or
+  /// not the threads have been spawned yet.
+  std::size_t threads() const noexcept { return target_threads_; }
 
   void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
   void drain_batch();
+  void ensure_spawned();
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -73,6 +88,7 @@ class WorkerPool {
   std::exception_ptr first_error_;
   bool shutdown_ = false;
 
+  std::size_t target_threads_ = 0;
   std::vector<std::thread> threads_;
 };
 

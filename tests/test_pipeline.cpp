@@ -1,0 +1,470 @@
+// The deterministic task-graph executor (spooftrack::pipeline) and the
+// streaming deploy path built on it.
+//
+// Two layers of coverage:
+//   1. executor contract — commit ordering, per-chain produce
+//      serialization, backpressure bound, exception drain, inline
+//      single-worker execution, plan validation;
+//   2. end-to-end equivalence — PeeringTestbed::deploy in pipelined mode
+//      must be byte-identical to barrier mode for every worker count x
+//      queue depth combination, with and without an active fault plan,
+//      including chain-lease lifetimes when fault injection abandons
+//      configurations (the ASan job turns a leaked lease into a failure).
+#include "pipeline/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bgp/engine.hpp"
+#include "core/config_gen.hpp"
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+
+namespace spooftrack {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor contract
+// ---------------------------------------------------------------------------
+
+/// chain_steps with one item per step, chains striding over [0, items).
+pipeline::GraphPlan strided_plan(std::size_t items, std::size_t chains) {
+  pipeline::GraphPlan plan;
+  plan.items = items;
+  plan.chain_steps.resize(chains);
+  for (std::size_t i = 0; i < items; ++i) {
+    plan.chain_steps[i % chains].push_back({i});
+  }
+  return plan;
+}
+
+TEST(PipelineExecutor, RunsEveryStageExactlyOnceAndCommitsInOrder) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    for (const std::size_t depth : {1u, 2u, 4u}) {
+      const pipeline::GraphPlan plan = strided_plan(23, 3);
+      std::mutex mutex;
+      std::vector<int> produced(23, 0);
+      std::vector<int> worked(23, 0);
+      std::vector<std::size_t> commit_order;
+
+      pipeline::Stages stages;
+      stages.produce = [&](std::size_t chain, std::size_t step) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        for (std::size_t item : plan.chain_steps[chain][step]) {
+          ++produced[item];
+        }
+      };
+      stages.work = [&](std::size_t item, std::size_t worker) {
+        ASSERT_LT(worker, workers);
+        const std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_EQ(produced[item], 1) << "worked before produced";
+        ++worked[item];
+      };
+      stages.commit = [&](std::size_t item) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_EQ(worked[item], 1) << "committed before worked";
+        commit_order.push_back(item);
+      };
+
+      pipeline::run_graph(plan, stages, {workers, depth});
+      ASSERT_EQ(commit_order.size(), 23u);
+      for (std::size_t i = 0; i < commit_order.size(); ++i) {
+        EXPECT_EQ(commit_order[i], i) << "commits must ascend globally";
+      }
+      EXPECT_TRUE(std::all_of(produced.begin(), produced.end(),
+                              [](int c) { return c == 1; }));
+      EXPECT_TRUE(std::all_of(worked.begin(), worked.end(),
+                              [](int c) { return c == 1; }));
+    }
+  }
+}
+
+TEST(PipelineExecutor, ProduceIsSerialPerChainAndAscending) {
+  const pipeline::GraphPlan plan = strided_plan(40, 4);
+  std::mutex mutex;
+  std::vector<std::vector<std::size_t>> seen(plan.chains());
+  std::vector<int> in_produce(plan.chains(), 0);
+
+  pipeline::Stages stages;
+  stages.produce = [&](std::size_t chain, std::size_t step) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      EXPECT_EQ(in_produce[chain], 0) << "chain produced concurrently";
+      ++in_produce[chain];
+      seen[chain].push_back(step);
+    }
+    std::this_thread::yield();
+    const std::lock_guard<std::mutex> lock(mutex);
+    --in_produce[chain];
+  };
+  pipeline::run_graph(plan, stages, {8, 2});
+
+  for (std::size_t c = 0; c < plan.chains(); ++c) {
+    ASSERT_EQ(seen[c].size(), plan.chain_steps[c].size());
+    for (std::size_t s = 0; s < seen[c].size(); ++s) {
+      EXPECT_EQ(seen[c][s], s) << "steps must ascend within a chain";
+    }
+  }
+}
+
+TEST(PipelineExecutor, BackpressureBoundsOutstandingSteps) {
+  for (const std::size_t depth : {1u, 2u, 4u}) {
+    const pipeline::GraphPlan plan = strided_plan(32, 2);
+    std::mutex mutex;
+    std::vector<std::size_t> outstanding(plan.chains(), 0);
+    std::size_t worst = 0;
+    std::vector<std::size_t> chain_of(plan.items, 0);
+    for (std::size_t c = 0; c < plan.chains(); ++c) {
+      for (const auto& step : plan.chain_steps[c]) {
+        for (std::size_t item : step) chain_of[item] = c;
+      }
+    }
+
+    pipeline::Stages stages;
+    stages.produce = [&](std::size_t chain, std::size_t) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ++outstanding[chain];
+      worst = std::max(worst, outstanding[chain]);
+    };
+    stages.work = [&](std::size_t item, std::size_t) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      --outstanding[chain_of[item]];
+    };
+    pipeline::run_graph(plan, stages, {4, depth});
+    EXPECT_LE(worst, depth) << "a chain ran further ahead than queue_depth";
+  }
+}
+
+TEST(PipelineExecutor, SingleWorkerRunsInlineOnCallingThread) {
+  const pipeline::GraphPlan plan = strided_plan(9, 3);
+  const std::thread::id caller = std::this_thread::get_id();
+  pipeline::Stages stages;
+  stages.produce = [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  };
+  stages.work = [&](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  };
+  stages.commit = [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  };
+  pipeline::run_graph(plan, stages, {1, 2});
+}
+
+TEST(PipelineExecutor, ExceptionsPropagateFromEveryStage) {
+  for (const std::size_t workers : {1u, 4u}) {
+    for (int stage = 0; stage < 3; ++stage) {
+      const pipeline::GraphPlan plan = strided_plan(16, 2);
+      pipeline::Stages stages;
+      if (stage == 0) {
+        stages.produce = [](std::size_t chain, std::size_t step) {
+          if (chain == 1 && step == 3) throw std::runtime_error("produce");
+        };
+      } else if (stage == 1) {
+        stages.work = [](std::size_t item, std::size_t) {
+          if (item == 7) throw std::runtime_error("work");
+        };
+      } else {
+        stages.commit = [](std::size_t item) {
+          if (item == 5) throw std::runtime_error("commit");
+        };
+      }
+      EXPECT_THROW(pipeline::run_graph(plan, stages, {workers, 2}),
+                   std::runtime_error)
+          << "stage " << stage << ", workers " << workers;
+    }
+  }
+}
+
+TEST(PipelineExecutor, RejectsPlansThatAreNotAPermutation) {
+  pipeline::Stages stages;  // all no-ops
+  {
+    pipeline::GraphPlan duplicate;
+    duplicate.items = 3;
+    duplicate.chain_steps = {{{0, 1}, {1}}, {{2}}};
+    EXPECT_THROW(pipeline::run_graph(duplicate, stages),
+                 std::invalid_argument);
+  }
+  {
+    pipeline::GraphPlan out_of_range;
+    out_of_range.items = 2;
+    out_of_range.chain_steps = {{{0}, {5}}};
+    EXPECT_THROW(pipeline::run_graph(out_of_range, stages),
+                 std::invalid_argument);
+  }
+  {
+    pipeline::GraphPlan missing;
+    missing.items = 3;
+    missing.chain_steps = {{{0}, {2}}};
+    EXPECT_THROW(pipeline::run_graph(missing, stages), std::invalid_argument);
+  }
+}
+
+TEST(PipelineExecutor, EmptyGraphAndEmptyStepsAreFine) {
+  pipeline::Stages stages;
+  pipeline::run_graph({}, stages);  // no chains, no items
+
+  pipeline::GraphPlan sparse;
+  sparse.items = 2;
+  sparse.chain_steps = {{{}, {1}, {}}, {{0}}};
+  std::vector<std::size_t> committed;
+  stages.commit = [&](std::size_t item) { committed.push_back(item); };
+  pipeline::run_graph(sparse, stages, {2, 1});
+  EXPECT_EQ(committed, (std::vector<std::size_t>{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Leased warm runs (bgp::Engine::run_warm_leased)
+// ---------------------------------------------------------------------------
+
+TEST(WarmLease, ConsumeAndCopyProduceIdenticalOutcomes) {
+  core::TestbedConfig config;
+  config.seed = 11;
+  config.tier1_count = 5;
+  config.transit_count = 40;
+  config.stub_count = 300;
+  config.probe_count = 100;
+  config.feed.peer_count = 40;
+  const core::PeeringTestbed testbed(config);
+  const auto configs = testbed.generator().location_phase();
+  ASSERT_GE(configs.size(), 3u);
+
+  const bgp::Engine& engine = testbed.engine();
+  const auto base_prep = engine.prepare(testbed.origin(), configs[0]);
+  const auto next_prep = engine.prepare(testbed.origin(), configs[1]);
+
+  auto baseline_a = std::make_shared<bgp::RoutingOutcome>(
+      engine.run(testbed.origin(), configs[0], base_prep));
+  auto baseline_b = std::make_shared<bgp::RoutingOutcome>(
+      engine.run(testbed.origin(), configs[0], base_prep));
+
+  const bgp::RoutingOutcome copied = engine.run_warm_leased(
+      testbed.origin(), configs[1], next_prep, configs[0], base_prep,
+      baseline_a, /*consume=*/false);
+  const bgp::RoutingOutcome consumed = engine.run_warm_leased(
+      testbed.origin(), configs[1], next_prep, configs[0], base_prep,
+      baseline_b, /*consume=*/true);
+
+  // The copy path must leave the baseline untouched (the lease holder will
+  // still read it); the consume path owes nothing.
+  ASSERT_EQ(baseline_a->best.size(), copied.best.size());
+  EXPECT_EQ(consumed.rounds, copied.rounds);
+  std::size_t mismatches = 0;
+  for (topology::AsId id = 0; id < copied.best.size(); ++id) {
+    if (!bgp::routes_equal(copied, consumed, id)) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+
+  EXPECT_THROW(engine.run_warm_leased(testbed.origin(), configs[1], next_prep,
+                                      configs[0], base_prep, nullptr, true),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Deploy equivalence: pipelined == barrier, byte for byte
+// ---------------------------------------------------------------------------
+
+core::TestbedConfig equivalence_testbed() {
+  core::TestbedConfig config;
+  config.seed = 11;
+  config.tier1_count = 5;
+  config.transit_count = 40;
+  config.stub_count = 300;
+  config.probe_count = 100;
+  config.traceroute_rounds = 2;
+  config.feed.peer_count = 40;
+  config.audit_policies = true;
+  return config;
+}
+
+/// A 10-config plan with memo fan-out: the location phase plus two
+/// duplicated announcement lists, so unique < n and outcomes are shared.
+std::vector<bgp::Configuration> equivalence_plan(
+    const core::PeeringTestbed& testbed) {
+  core::GeneratorOptions gen;
+  gen.max_removals = 1;
+  auto plan = testbed.generator(gen).location_phase();  // 8 configs
+  plan.push_back(plan[2]);
+  plan.push_back(plan[0]);
+  return plan;
+}
+
+void expect_same_deployment(const core::DeploymentResult& barrier,
+                            const core::DeploymentResult& pipelined,
+                            const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(barrier.configs.size(), pipelined.configs.size());
+  EXPECT_EQ(barrier.truth, pipelined.truth);
+  EXPECT_EQ(barrier.measured, pipelined.measured);
+  EXPECT_EQ(barrier.sources, pipelined.sources);
+  EXPECT_EQ(barrier.matrix, pipelined.matrix);
+  EXPECT_EQ(barrier.min_route_distance, pipelined.min_route_distance);
+  EXPECT_EQ(barrier.engine_rounds, pipelined.engine_rounds);
+  ASSERT_EQ(barrier.compliance.size(), pipelined.compliance.size());
+  for (std::size_t i = 0; i < barrier.compliance.size(); ++i) {
+    EXPECT_EQ(barrier.compliance[i].audited, pipelined.compliance[i].audited);
+    EXPECT_EQ(barrier.compliance[i].best_relationship,
+              pipelined.compliance[i].best_relationship);
+    EXPECT_EQ(barrier.compliance[i].both_criteria,
+              pipelined.compliance[i].both_criteria);
+  }
+  EXPECT_EQ(barrier.mean_multi_catchment, pipelined.mean_multi_catchment);
+  EXPECT_EQ(barrier.mean_coverage, pipelined.mean_coverage);
+  ASSERT_EQ(barrier.quality.size(), pipelined.quality.size());
+  for (std::size_t i = 0; i < barrier.quality.size(); ++i) {
+    EXPECT_EQ(barrier.quality[i].grade, pipelined.quality[i].grade) << i;
+    EXPECT_EQ(barrier.quality[i].deploy_attempts,
+              pipelined.quality[i].deploy_attempts) << i;
+    EXPECT_EQ(barrier.quality[i].feed_entries,
+              pipelined.quality[i].feed_entries) << i;
+    EXPECT_EQ(barrier.quality[i].feed_faults,
+              pipelined.quality[i].feed_faults) << i;
+    EXPECT_EQ(barrier.quality[i].traces, pipelined.quality[i].traces) << i;
+    EXPECT_EQ(barrier.quality[i].trace_faults,
+              pipelined.quality[i].trace_faults) << i;
+  }
+}
+
+void run_equivalence_sweep(core::TestbedConfig base) {
+  base.pipeline = core::PipelineMode::kOff;
+  const core::PeeringTestbed barrier_bed(base);
+  const auto plan = equivalence_plan(barrier_bed);
+  const auto barrier = barrier_bed.deploy(plan);
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    for (const std::size_t depth : {1u, 2u, 4u}) {
+      core::TestbedConfig config = base;
+      config.pipeline = core::PipelineMode::kOn;
+      config.measure_workers = workers;
+      config.pipeline_depth = depth;
+      const core::PeeringTestbed testbed(config);
+      const auto pipelined = testbed.deploy(plan);
+      expect_same_deployment(barrier, pipelined,
+                             "workers=" + std::to_string(workers) +
+                                 " depth=" + std::to_string(depth));
+    }
+  }
+}
+
+TEST(PipelineEquivalence, MatchesBarrierForAllWorkerAndDepthCombos) {
+  run_equivalence_sweep(equivalence_testbed());
+}
+
+TEST(PipelineEquivalence, MatchesBarrierUnderActiveFaultPlan) {
+  core::TestbedConfig config = equivalence_testbed();
+  config.faults.feed_outage_prob = 0.1;
+  config.faults.feed_stale_prob = 0.05;
+  config.faults.traceroute_loss_prob = 0.05;
+  config.faults.traceroute_truncate_prob = 0.05;
+  config.faults.deploy_failure_prob = 0.25;
+  config.faults.deploy_retry_budget = 0;
+  run_equivalence_sweep(config);
+}
+
+TEST(PipelineEquivalence, MatchesBarrierWithColdCampaign) {
+  core::TestbedConfig config = equivalence_testbed();
+  config.warm_campaign = false;
+  run_equivalence_sweep(config);
+}
+
+TEST(PipelineEquivalence, AutoModeStreamsAndOffForcesBarrier) {
+  core::TestbedConfig config = equivalence_testbed();
+  config.pipeline = core::PipelineMode::kAuto;
+  const core::PeeringTestbed auto_bed(config);
+  const auto plan = equivalence_plan(auto_bed);
+  const auto with_auto = auto_bed.deploy(plan);
+
+  config.pipeline = core::PipelineMode::kOff;
+  const core::PeeringTestbed off_bed(config);
+  expect_same_deployment(off_bed.deploy(plan), with_auto, "auto-vs-off");
+
+  // Ground truth has no measurement stage to overlap: auto must fall back
+  // to barrier (and not touch `measured`).
+  config.pipeline = core::PipelineMode::kAuto;
+  config.measured_catchments = false;
+  const core::PeeringTestbed truth_bed(config);
+  const auto truth = truth_bed.deploy(plan);
+  EXPECT_TRUE(truth.measured.empty());
+  EXPECT_FALSE(truth.sources.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Chain-lease lifetimes under fault abandonment (ASan job catches leaks)
+// ---------------------------------------------------------------------------
+
+TEST(PipelineLease, AbandonedConfigsStillDrainAndReleaseLeases) {
+  // Every deployment attempt fails: all configs abandoned, no measurement
+  // ever consumes a lease — yet every warm-engine outcome and buffer must
+  // be dropped by the time deploy returns (leak-checked under ASan).
+  core::TestbedConfig config = equivalence_testbed();
+  config.faults.deploy_failure_prob = 1.0;
+  config.faults.deploy_retry_budget = 0;
+  config.pipeline = core::PipelineMode::kOn;
+  config.measure_workers = 2;
+  const core::PeeringTestbed testbed(config);
+  const auto plan = equivalence_plan(testbed);
+  const auto result = testbed.deploy(plan);
+
+  EXPECT_TRUE(result.sources.empty());
+  EXPECT_EQ(result.matrix.size(), plan.size());
+  EXPECT_EQ(result.matrix.sources(), 0u);
+  for (const auto& q : result.quality) {
+    EXPECT_EQ(q.grade, fault::Grade::kFailed);
+  }
+  // Ground truth is routing-plane state and survives abandonment.
+  for (const auto& truth : result.truth) {
+    EXPECT_FALSE(truth.link_of.empty());
+  }
+
+  // And the all-abandoned case is still barrier-equivalent.
+  core::TestbedConfig off = config;
+  off.pipeline = core::PipelineMode::kOff;
+  const core::PeeringTestbed off_bed(off);
+  expect_same_deployment(off_bed.deploy(plan), result, "all-abandoned");
+}
+
+#if SPOOFTRACK_OBS_ENABLED
+TEST(PipelineLease, WarmChainsAccountEveryLease) {
+  core::TestbedConfig config = equivalence_testbed();
+  config.pipeline = core::PipelineMode::kOn;
+  config.measure_workers = 2;
+  const core::PeeringTestbed testbed(config);
+  const auto plan = equivalence_plan(testbed);
+
+  const auto before = obs::Registry::global().snapshot();
+  const auto result = testbed.deploy(plan);
+  const auto after = obs::Registry::global().snapshot();
+  ASSERT_FALSE(result.matrix.empty());
+
+  const auto counter = [](const obs::Snapshot& snap, const char* name) {
+    const obs::MetricSnapshot* metric = snap.find(name);
+    return metric == nullptr ? std::uint64_t{0} : metric->value;
+  };
+  const std::uint64_t consumed =
+      counter(after, "engine.warm.lease_consumed") -
+      counter(before, "engine.warm.lease_consumed");
+  const std::uint64_t copied = counter(after, "engine.warm.lease_copied") -
+                               counter(before, "engine.warm.lease_copied");
+  // Every warm step goes through the lease API exactly once, whichever
+  // branch it takes. The plan has 9 unique configs over a handful of
+  // chains, so warm steps must exist.
+  EXPECT_GE(consumed + copied, 1u);
+  const std::uint64_t runs = counter(after, "pipeline.runs") -
+                             counter(before, "pipeline.runs");
+  EXPECT_EQ(runs, 1u);
+  const std::uint64_t items = counter(after, "pipeline.items") -
+                              counter(before, "pipeline.items");
+  EXPECT_EQ(items, plan.size());
+}
+#endif  // SPOOFTRACK_OBS_ENABLED
+
+}  // namespace
+}  // namespace spooftrack

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "core/attribution.hpp"
@@ -35,6 +36,7 @@
 #include "traffic/honeypot.hpp"
 #include "traffic/spoofer.hpp"
 #include "util/flags.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -88,7 +90,17 @@ util::FlagSet testbed_flags() {
               "per-attempt deployment failure probability (overrides "
               "fault-rate)", "")
       .define("fault-retries", "deployment retry budget", "2")
-      .define("fault-seed", "fault schedule seed", "");
+      .define("fault-seed", "fault schedule seed", "")
+      .define("workers",
+              "worker threads for measurement and the deploy pipeline "
+              "(0 = auto; must agree with SPOOFTRACK_THREADS when both are "
+              "set, see docs/cli.md)", "0")
+      .define("pipeline",
+              "deploy scheduling: on|off|auto (streaming overlap of "
+              "propagation, measurement and analysis; docs/cli.md)", "auto")
+      .define("pipeline-depth",
+              "streaming backpressure: max propagated-but-unmeasured steps "
+              "per chain", "2");
   return flags;
 }
 
@@ -126,6 +138,33 @@ core::TestbedConfig testbed_config(const util::FlagSet& flags) {
       flags.get_u64("fault-retries").value_or(2));
   config.faults.seed = flags.get_u64("fault-seed")
                            .value_or(config.faults.seed);
+  // Worker-count precedence (docs/cli.md): an explicit --workers wins over
+  // the resolved default, but a *conflicting* SPOOFTRACK_THREADS is a
+  // configuration error, not a silent tie-break — scripted runs should not
+  // discover at bench-diff time which of the two was honoured.
+  const std::uint64_t workers = flags.get_u64("workers").value_or(0);
+  if (workers > 0) {
+    if (const auto env = util::env_worker_override(); env && *env != workers) {
+      throw std::invalid_argument(
+          "conflicting worker counts: --workers=" + std::to_string(workers) +
+          " but SPOOFTRACK_THREADS=" + std::to_string(*env) +
+          "; unset one or make them agree (docs/cli.md)");
+    }
+    config.measure_workers = static_cast<std::size_t>(workers);
+  }
+  const std::string pipeline = flags.get("pipeline");
+  if (pipeline == "on") {
+    config.pipeline = core::PipelineMode::kOn;
+  } else if (pipeline == "off") {
+    config.pipeline = core::PipelineMode::kOff;
+  } else if (pipeline == "auto") {
+    config.pipeline = core::PipelineMode::kAuto;
+  } else {
+    throw std::invalid_argument("--pipeline must be on, off or auto (got '" +
+                                pipeline + "')");
+  }
+  config.pipeline_depth = static_cast<std::size_t>(
+      flags.get_u64("pipeline-depth").value_or(2));
   return config;
 }
 
