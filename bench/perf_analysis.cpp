@@ -4,26 +4,31 @@
 // clusters split gradually instead of saturating on the first row) and
 // measures, best-of-N:
 //
-//   * store build from legacy nested-vector rows,
+//   * store build from legacy nested-vector rows, and the bit-sliced
+//     BitplaneStore mirror build (with a scalar-vs-wide dispatch gate),
 //   * cluster refinement: legacy u32 nested-vector reference vs
-//     ClusterTracker on encoded u8 rows,
+//     ClusterTracker on encoded u8 rows vs the word-parallel bitplane
+//     refine,
 //   * greedy scheduling: legacy serial reference vs core::greedy_schedule
-//     single-threaded (the speedup_serial acceptance number), plus a
+//     single-threaded (the speedup_serial acceptance number) with a
+//     per-kernel ablation (bitplane default vs byte stamp-table), plus a
 //     worker sweep,
-//   * online cluster attribution on the store.
+//   * online cluster attribution on the store (tiled column gather).
 //
 // The legacy references reimplement the pre-columnar algorithms faithfully
 // (same epoch-stamped bucket tables, same first-touch dense ids, same
 // lowest-index-max tie break) over std::vector<std::vector<bgp::LinkId>>,
 // without the u8 layout or the singleton word-skip — so every speedup is
 // attributable to the store, and equivalence can be asserted bit-for-bit:
-// cluster ids, greedy orders, and parallel-vs-serial orders must all match
-// or the bench exits non-zero.
+// cluster ids, greedy orders, parallel-vs-serial orders, per-kernel orders
+// and scalar-vs-wide plane builds must all match or the bench exits
+// non-zero.
 //
 // Usage: perf_analysis [--seed=N] [--obs-report=PATH] [--quick]
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -35,9 +40,11 @@
 #include "core/cluster.hpp"
 #include "core/cluster_slots.hpp"
 #include "core/scheduler.hpp"
+#include "measure/bitplane_store.hpp"
 #include "measure/catchment_store.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -248,6 +255,32 @@ int main(int argc, char** argv) {
     });
     OBS_GAUGE("analysis.matrix_bytes", matrix.size_bytes());
 
+    // Bit-sliced mirror build, plus the dispatch gate: the scalar and wide
+    // builders must agree bit for bit and the round trip must reproduce the
+    // byte store exactly. The gate runs in --quick too, so CI's bench-smoke
+    // exercises both SIMD paths on every change.
+    measure::BitplaneStore planes;
+    const double bitplane_build_ms = best_of(size.repeats, [&] {
+      planes = measure::BitplaneStore(matrix);
+    });
+    {
+      util::force_simd_level(util::SimdLevel::kScalar);
+      const measure::BitplaneStore scalar_planes(matrix);
+      util::force_simd_level(util::SimdLevel::kWide);
+      const measure::BitplaneStore wide_planes(matrix);
+      util::force_simd_level(std::nullopt);
+      if (!(scalar_planes == wide_planes)) {
+        equivalent = false;
+        std::cerr << "FAIL[" << size.name
+                  << "]: scalar and wide bitplane builds diverge\n";
+      }
+      if (planes.to_store() != matrix) {
+        equivalent = false;
+        std::cerr << "FAIL[" << size.name
+                  << "]: bitplane round trip loses cells\n";
+      }
+    }
+
     // Refinement: legacy u32 reference vs ClusterTracker on u8 rows.
     LegacyTracker legacy_tracker(size.sources);
     const double legacy_refine_ms = best_of(size.repeats, [&] {
@@ -263,6 +296,16 @@ int main(int argc, char** argv) {
       equivalent = false;
       std::cerr << "FAIL[" << size.name
                 << "]: store clustering diverges from legacy reference\n";
+    }
+    core::Clustering bitplane_clustering;
+    const double bitplane_refine_ms = best_of(size.repeats, [&] {
+      bitplane_clustering = core::cluster_sources(planes);
+    });
+    if (bitplane_clustering.cluster_of != clustering.cluster_of ||
+        bitplane_clustering.cluster_count != clustering.cluster_count) {
+      equivalent = false;
+      std::cerr << "FAIL[" << size.name
+                << "]: bitplane clustering diverges from byte store\n";
     }
 
     // Greedy scheduling: legacy serial reference vs store, then the worker
@@ -299,6 +342,32 @@ int main(int argc, char** argv) {
         serial_ms > 0.0 ? legacy_greedy_ms / serial_ms : 0.0;
     speedup_serial_last = speedup_serial;
 
+    // Kernel ablation: the byte stamp-table kernel must produce the same
+    // order, and its serial time isolates the bitplane kernel's share of
+    // the speedup.
+    std::vector<std::size_t> byte_order;
+    const double byte_greedy_ms = best_of(size.repeats, [&] {
+      byte_order = core::greedy_schedule(matrix, size.steps, 1,
+                                         core::GreedyKernel::kByte)
+                       .order;
+    });
+    if (byte_order != serial_order) {
+      equivalent = false;
+      std::cerr << "FAIL[" << size.name
+                << "]: byte kernel order diverges from bitplane kernel\n";
+    }
+    {
+      // Bitplane greedy must not depend on the dispatch path either.
+      util::force_simd_level(util::SimdLevel::kScalar);
+      const auto scalar_trace = core::greedy_schedule(matrix, size.steps, 1);
+      util::force_simd_level(std::nullopt);
+      if (scalar_trace.order != serial_order) {
+        equivalent = false;
+        std::cerr << "FAIL[" << size.name
+                  << "]: forced-scalar greedy order diverges\n";
+      }
+    }
+
     // Attribution on the store (timed; equivalence with the legacy path is
     // covered bit-for-bit by tests/test_catchment_store.cpp).
     const auto volumes = synth_volumes(matrix, options.seed);
@@ -319,10 +388,15 @@ int main(int argc, char** argv) {
               << ", \"steps\": " << size.steps
               << ", \"matrix_bytes\": " << matrix.size_bytes()
               << ",\n     \"build_ms\": " << util::fmt_double(build_ms, 3)
-              << ", \"legacy_refine_ms\": "
+              << ", \"bitplane_build_ms\": "
+              << util::fmt_double(bitplane_build_ms, 3)
+              << ", \"bitplane_bytes\": " << planes.size_bytes()
+              << ",\n     \"legacy_refine_ms\": "
               << util::fmt_double(legacy_refine_ms, 3)
               << ", \"store_refine_ms\": "
               << util::fmt_double(store_refine_ms, 3)
+              << ", \"bitplane_refine_ms\": "
+              << util::fmt_double(bitplane_refine_ms, 3)
               << ", \"refine_speedup\": "
               << util::fmt_double(
                      store_refine_ms > 0.0 ? legacy_refine_ms / store_refine_ms
@@ -330,9 +404,13 @@ int main(int argc, char** argv) {
                      2)
               << ",\n     \"legacy_greedy_ms\": "
               << util::fmt_double(legacy_greedy_ms, 2)
+              << ", \"byte_greedy_ms\": " << util::fmt_double(byte_greedy_ms, 2)
               << ", \"store_greedy_ms\": " << util::fmt_double(serial_ms, 2)
               << ", \"speedup_serial\": "
               << util::fmt_double(speedup_serial, 2)
+              << ", \"kernel_speedup\": "
+              << util::fmt_double(
+                     serial_ms > 0.0 ? byte_greedy_ms / serial_ms : 0.0, 2)
               << ", \"attribution_ms\": "
               << util::fmt_double(attribution_ms, 3)
               << ",\n     \"workers\": {";
@@ -347,13 +425,16 @@ int main(int argc, char** argv) {
     }
     std::cout << "}}";
   }
-  std::cout << "\n  ],\n  \"equivalent\": " << (equivalent ? "true" : "false")
+  std::cout << "\n  ],\n  \"simd\": \""
+            << util::simd_level_name(util::active_simd_level())
+            << "\",\n  \"equivalent\": " << (equivalent ? "true" : "false")
             << ",\n  \"speedup_serial\": "
             << util::fmt_double(speedup_serial_last, 2) << "\n}\n";
 
   const int report_rc =
       bench::finish(options, "perf_analysis", [&](obs::RunReport& report) {
         report.label("equivalent", equivalent ? "true" : "false")
+            .label("simd", util::simd_level_name(util::active_simd_level()))
             .value("speedup_serial", speedup_serial_last);
       });
 

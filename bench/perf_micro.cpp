@@ -11,12 +11,16 @@
 
 #include "bgp/catchment.hpp"
 #include "bgp/engine.hpp"
+#include "core/bitplane_kernels.hpp"
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
+#include "measure/bitplane_store.hpp"
+#include "measure/catchment_store.hpp"
 #include "measure/repair.hpp"
 #include "netcore/lpm.hpp"
 #include "netcore/packet.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -91,6 +95,127 @@ void BM_ClusterRefine(benchmark::State& state) {
                           static_cast<std::int64_t>(sources));
 }
 BENCHMARK(BM_ClusterRefine)->Arg(1000)->Arg(10000);
+
+measure::CatchmentStore micro_matrix(std::size_t configs,
+                                     std::size_t sources) {
+  util::Rng rng{11};
+  measure::CatchmentStore store(0, sources);
+  std::vector<std::uint8_t> row(sources);
+  for (std::size_t c = 0; c < configs; ++c) {
+    for (auto& cell : row) {
+      cell = rng.chance(0.02) ? bgp::kNoCatchment8
+                              : static_cast<std::uint8_t>(rng.next_below(7));
+    }
+    store.append_row(std::span<const std::uint8_t>(row));
+  }
+  return store;
+}
+
+void BM_PopcountWords(benchmark::State& state) {
+  // Dispatched popcount reduction (wide path when the host supports it);
+  // compare against BM_PopcountWordsScalar for the SIMD ablation.
+  util::Rng rng{13};
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : words) w = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::popcount_words(words.data(), words.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(words.size() * 8));
+}
+BENCHMARK(BM_PopcountWords)->Arg(1024)->Arg(65536);
+
+void BM_PopcountWordsScalar(benchmark::State& state) {
+  util::Rng rng{13};
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : words) w = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::popcount_words_scalar(words.data(), words.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(words.size() * 8));
+}
+BENCHMARK(BM_PopcountWordsScalar)->Arg(1024)->Arg(65536);
+
+void BM_BitplaneBuild(benchmark::State& state) {
+  // Byte store -> bit-sliced planes transpose (dispatched build kernel).
+  const auto store = micro_matrix(128, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    measure::BitplaneStore planes(store);
+    benchmark::DoNotOptimize(planes.row_planes(0));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(store.size_bytes()));
+}
+BENCHMARK(BM_BitplaneBuild)->Arg(1000)->Arg(10000);
+
+void BM_BitplaneCountAfter(benchmark::State& state) {
+  // The greedy scheduler's inner loop: presence-bitmap distinct-slot count
+  // of one candidate row against a partially refined clustering. Compare
+  // against BM_ClusterRefine for the per-source stamp-table cost.
+  const auto sources = static_cast<std::size_t>(state.range(0));
+  const auto store = micro_matrix(64, sources);
+  const measure::BitplaneStore planes(store);
+  core::ClusterTracker tracker(sources);
+  for (std::size_t c = 0; c < store.configs(); c += 8) {
+    tracker.refine(store.row(c));
+  }
+  core::ClusterMasks masks;
+  masks.build(tracker.current().cluster_of, tracker.cluster_count(),
+              tracker.singleton_mask());
+  std::size_t config = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::count_after_bitplane(
+        masks, tracker.singleton_count(), store.row(config).data(),
+        planes.row_planes(config), planes.words(), 0));
+    config = (config + 1) % store.configs();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sources));
+}
+BENCHMARK(BM_BitplaneCountAfter)->Arg(1000)->Arg(10000);
+
+void BM_MemberCountAfter(benchmark::State& state) {
+  // Same count through the member-list kernel (the scheduler's pick once
+  // refinement scatters clusters across words).
+  const auto sources = static_cast<std::size_t>(state.range(0));
+  const auto store = micro_matrix(64, sources);
+  core::ClusterTracker tracker(sources);
+  for (std::size_t c = 0; c < store.configs(); c += 8) {
+    tracker.refine(store.row(c));
+  }
+  core::ClusterMasks masks;
+  masks.build(tracker.current().cluster_of, tracker.cluster_count(),
+              tracker.singleton_mask());
+  std::size_t config = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::count_after_members(
+        masks, tracker.singleton_count(), store.row(config).data(), 0));
+    config = (config + 1) % store.configs();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sources));
+}
+BENCHMARK(BM_MemberCountAfter)->Arg(1000)->Arg(10000);
+
+void BM_ColumnGather(benchmark::State& state) {
+  // Tiled trajectory gather (attribution / prediction access pattern):
+  // 64 columns of a 1024-config matrix into contiguous buffers.
+  const auto store = micro_matrix(1024, static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint32_t> sources(64);
+  for (std::size_t j = 0; j < sources.size(); ++j) {
+    sources[j] = static_cast<std::uint32_t>(j * (store.sources() / 64));
+  }
+  std::vector<std::uint8_t> out(sources.size() * store.configs());
+  for (auto _ : state) {
+    store.gather_columns(sources, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_ColumnGather)->Arg(512)->Arg(4096);
 
 void BM_LpmLookup(benchmark::State& state) {
   util::Rng rng{5};

@@ -64,10 +64,27 @@ AttributionResult attribute_clusters(
     if (rep == std::numeric_limits<std::uint32_t>::max()) rep = s;
   }
 
+  // Tiled word-gather of every representative trajectory up front:
+  // scoring then streams contiguous bytes instead of one strided column
+  // walk per cluster. Memberless cluster ids (possible in hand-built
+  // clusterings) keep their -inf score.
+  constexpr auto kNoRep = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> gathered;
+  std::vector<std::uint32_t> slot(clustering.cluster_count, kNoRep);
+  gathered.reserve(clustering.cluster_count);
+  for (std::uint32_t c = 0; c < clustering.cluster_count; ++c) {
+    if (representative[c] == kNoRep) continue;
+    slot[c] = static_cast<std::uint32_t>(gathered.size());
+    gathered.push_back(representative[c]);
+  }
+  std::vector<std::uint8_t> trajectories(gathered.size() * matrix.size());
+  matrix.gather_columns(gathered, trajectories.data());
+
   constexpr double kEpsilon = 1e-6;
   for (std::uint32_t c = 0; c < clustering.cluster_count; ++c) {
-    const std::uint32_t rep = representative[c];
-    const auto trajectory = matrix.column(rep);
+    if (slot[c] == kNoRep) continue;
+    const std::uint8_t* trajectory =
+        trajectories.data() + std::size_t{slot[c]} * matrix.size();
     double score = 0.0;
     for (std::size_t k = 0; k < matrix.size(); ++k) {
       const std::uint8_t link = trajectory[k];
@@ -124,11 +141,28 @@ MixtureResult attribute_mixture(
     }
   }
 
+  // Representative trajectories gathered contiguous once (tiled
+  // word-gather); the greedy extraction below re-reads each one every
+  // round, so the strided column walk was the hot path here.
+  std::vector<std::uint32_t> gathered;
+  std::vector<std::uint32_t> slot(clustering.cluster_count, kNone);
+  gathered.reserve(clustering.cluster_count);
+  for (std::uint32_t k = 0; k < clustering.cluster_count; ++k) {
+    if (representative[k] == kNone) continue;
+    slot[k] = static_cast<std::uint32_t>(gathered.size());
+    gathered.push_back(representative[k]);
+  }
+  std::vector<std::uint8_t> trajectories(gathered.size() * matrix.size());
+  matrix.gather_columns(gathered, trajectories.data());
+  auto trajectory_of = [&](std::uint32_t cluster) {
+    return trajectories.data() + std::size_t{slot[cluster]} * matrix.size();
+  };
+
   // Consistent weight of one cluster against the residual: a robust low
   // quantile of the residual volume along the cluster's trajectory.
   std::vector<double> along_trajectory;
   auto weight_of = [&](std::uint32_t cluster) {
-    const auto trajectory = matrix.column(representative[cluster]);
+    const std::uint8_t* trajectory = trajectory_of(cluster);
     along_trajectory.clear();
     for (std::size_t c = 0; c < matrix.size(); ++c) {
       const std::uint8_t link = trajectory[c];
@@ -158,7 +192,7 @@ MixtureResult attribute_mixture(
 
     used[best_cluster] = true;
     result.components.push_back({best_cluster, best_weight});
-    const auto trajectory = matrix.column(representative[best_cluster]);
+    const std::uint8_t* trajectory = trajectory_of(best_cluster);
     for (std::size_t c = 0; c < matrix.size(); ++c) {
       const std::uint8_t link = trajectory[c];
       if (link != bgp::kNoCatchment8 && link < residual[c].size()) {

@@ -1,0 +1,202 @@
+#include "core/bitplane_kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace spooftrack::core {
+
+namespace {
+
+constexpr std::uint32_t kNoWord = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+void ClusterMasks::build(std::span<const std::uint32_t> cluster_of,
+                         std::uint32_t cluster_count,
+                         std::span<const std::uint8_t> singleton_mask) {
+  const std::size_t n = cluster_of.size();
+  const bool skip_singletons = !singleton_mask.empty();
+  active_sources_ = 0;
+  entry_count_.assign(cluster_count, 0);
+  size_.assign(cluster_count, 0);
+  last_word_.assign(cluster_count, kNoWord);
+  std::uint32_t max_size = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (skip_singletons && singleton_mask[s] != 0) continue;
+    const std::uint32_t c = cluster_of[s];
+    const auto w = static_cast<std::uint32_t>(s >> 6);
+    max_size = std::max(max_size, ++size_[c]);
+    ++active_sources_;
+    if (last_word_[c] != w) {
+      last_word_[c] = w;
+      ++entry_count_[c];
+    }
+  }
+
+  // Processing order: descending size, ascending id on ties (counting
+  // sort). Large clusters carry most of the abort bound's mass yet yield
+  // few distinct slots, so resolving them first lets candidate scans
+  // abort earliest; the total is order-independent.
+  size_start_.assign(std::size_t{max_size} + 1, 0);
+  std::uint32_t retained = 0;
+  for (std::uint32_t c = 0; c < cluster_count; ++c) {
+    if (entry_count_[c] == 0) continue;
+    ++size_start_[size_[c] - 1];
+    ++retained;
+  }
+  std::uint32_t acc = 0;
+  for (std::size_t sz = max_size; sz-- > 0;) {
+    const std::uint32_t here = size_start_[sz];
+    size_start_[sz] = acc;
+    acc += here;
+  }
+  order_.resize(retained);
+  for (std::uint32_t c = 0; c < cluster_count; ++c) {
+    if (entry_count_[c] == 0) continue;
+    order_[size_start_[size_[c] - 1]++] = c;
+  }
+
+  begin_.clear();
+  mbegin_.clear();
+  remaining_ub_.clear();
+  cursor_.assign(cluster_count, 0);
+  mcursor_.assign(cluster_count, 0);
+  std::uint32_t total = 0;
+  std::uint32_t mtotal = 0;
+  for (const std::uint32_t c : order_) {
+    begin_.push_back(total);
+    mbegin_.push_back(mtotal);
+    remaining_ub_.push_back(std::min<std::uint32_t>(size_[c], kSlots));
+    cursor_[c] = total;
+    mcursor_[c] = mtotal;
+    total += entry_count_[c];
+    mtotal += size_[c];
+  }
+  begin_.push_back(total);
+  mbegin_.push_back(mtotal);
+  entries_.resize(total);
+  members_.resize(mtotal);
+
+  // Second pass fills entries and member lists; sources ascend, so each
+  // cluster's words ascend and `cursor_ - 1` is always its in-progress
+  // word.
+  std::fill(last_word_.begin(), last_word_.end(), kNoWord);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (skip_singletons && singleton_mask[s] != 0) continue;
+    const std::uint32_t c = cluster_of[s];
+    const auto w = static_cast<std::uint32_t>(s >> 6);
+    const std::uint64_t bit = std::uint64_t{1} << (s & 63);
+    members_[mcursor_[c]++] = static_cast<std::uint32_t>(s);
+    if (last_word_[c] != w) {
+      last_word_[c] = w;
+      entries_[cursor_[c]++] = {w, bit};
+    } else {
+      entries_[cursor_[c] - 1].mask |= bit;
+    }
+  }
+
+  // remaining_ub_ currently holds per-cluster bounds; fold into suffix
+  // sums with a trailing zero so remaining_ub(i) covers clusters i..
+  remaining_ub_.push_back(0);
+  for (std::size_t i = remaining_ub_.size() - 1; i-- > 0;) {
+    remaining_ub_[i] += remaining_ub_[i + 1];
+  }
+}
+
+std::uint64_t plane_values(const std::uint64_t* planes, std::size_t words,
+                           std::uint32_t word, std::uint64_t mask) noexcept {
+  // DFS over value planes: a uniform plane appends one value bit, a mixed
+  // plane splits the lanes (continue into the zeros side, stack the ones
+  // side). Stack levels strictly increase, so depth <= kSlotBits.
+  struct Frame {
+    std::uint64_t mask;
+    std::uint32_t level;
+    std::uint32_t value;
+  };
+  Frame stack[kSlotBits];
+  int sp = 0;
+  std::uint64_t m = mask;
+  std::uint32_t level = 0;
+  std::uint32_t value = 0;
+  std::uint64_t presence = 0;
+  const std::size_t w = word;
+  for (;;) {
+    while (level < kSlotBits) {
+      const std::uint64_t x = planes[level * words + w] & m;
+      if (x == m) {
+        value |= 1u << level;
+      } else if (x != 0) {
+        stack[sp++] = {x, level + 1, value | (1u << level)};
+        m ^= x;
+      }
+      ++level;
+    }
+    presence |= std::uint64_t{1} << value;
+    if (sp == 0) return presence;
+    --sp;
+    m = stack[sp].mask;
+    level = stack[sp].level;
+    value = stack[sp].value;
+  }
+}
+
+std::uint32_t count_after_bitplane(const ClusterMasks& masks,
+                                   std::uint32_t singleton_count,
+                                   const std::uint8_t* row,
+                                   const std::uint64_t* planes,
+                                   std::size_t words, std::uint32_t bound) {
+  std::uint32_t count = singleton_count;
+  const std::size_t k = masks.cluster_count();
+  for (std::size_t i = 0; i < k; ++i) {
+    if (count + masks.remaining_ub(i) <= bound) return count;
+    std::uint64_t presence = 0;
+    for (const ClusterWord& cw : masks.cluster(i)) {
+      if (std::popcount(cw.mask) >= kDensePartitionLanes) {
+        presence |= plane_values(planes, words, cw.word, cw.mask);
+      } else {
+        // Missing cells (0xFF) fold to slot 63 via `& 63`, exactly
+        // core::slot_of; valid link ids (< 62) pass through unchanged.
+        const std::size_t base = std::size_t{cw.word} << 6;
+        std::uint64_t m = cw.mask;
+        while (m != 0) {
+          const auto lane = static_cast<std::size_t>(std::countr_zero(m));
+          presence |= std::uint64_t{1} << (row[base + lane] & 63);
+          m &= m - 1;
+        }
+      }
+    }
+    count += static_cast<std::uint32_t>(std::popcount(presence));
+  }
+  return count;
+}
+
+std::uint32_t count_after_members(const ClusterMasks& masks,
+                                  std::uint32_t singleton_count,
+                                  const std::uint8_t* row,
+                                  std::uint32_t bound) {
+  std::uint32_t count = singleton_count;
+  const std::size_t k = masks.cluster_count();
+  for (std::size_t i = 0; i < k; ++i) {
+    if (count + masks.remaining_ub(i) <= bound) return count;
+    const auto members = masks.members(i);
+    // Two independent accumulators break the OR dependency chain; the
+    // row reads (a few KB) and member indices (sequential) stay in L1.
+    std::uint64_t p0 = 0;
+    std::uint64_t p1 = 0;
+    std::size_t m = 0;
+    for (; m + 2 <= members.size(); m += 2) {
+      // Missing cells (0xFF) fold to slot 63 via `& 63`, exactly
+      // core::slot_of; valid link ids (< 62) pass through unchanged.
+      p0 |= std::uint64_t{1} << (row[members[m]] & 63);
+      p1 |= std::uint64_t{1} << (row[members[m + 1]] & 63);
+    }
+    if (m < members.size()) {
+      p0 |= std::uint64_t{1} << (row[members[m]] & 63);
+    }
+    count += static_cast<std::uint32_t>(std::popcount(p0 | p1));
+  }
+  return count;
+}
+
+}  // namespace spooftrack::core

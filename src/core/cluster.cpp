@@ -1,9 +1,11 @@
 #include "core/cluster.hpp"
 
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "core/cluster_slots.hpp"
+#include "measure/bitplane_store.hpp"
 #include "obs/obs.hpp"
 
 namespace spooftrack::core {
@@ -32,11 +34,16 @@ ClusterTracker::ClusterTracker(std::size_t source_count) {
   clustering_.cluster_of.assign(source_count, 0);
   clustering_.cluster_count = source_count == 0 ? 0 : 1;
   // Epoch-stamped remap table: avoids clearing between refines.
-  keys_.assign(source_count * kSlots, 0);    // epoch per (cluster, slot)
-  order_.assign(source_count * kSlots, 0);   // new id per (cluster, slot)
+  table_.assign(source_count * kSlots, 0);  // epoch<<32 | id per bucket
   epoch_ = 0;
   singleton_mask_.assign(source_count, 0);
-  rebuild_singletons();
+}
+
+void ClusterTracker::ensure_singletons() {
+  // Sticky: once a caller relies on the mask, keep it fresh after every
+  // refine; trackers that never ask pay nothing.
+  track_singletons_ = true;
+  if (!singletons_valid_) rebuild_singletons();
 }
 
 void ClusterTracker::rebuild_singletons() {
@@ -49,6 +56,7 @@ void ClusterTracker::rebuild_singletons() {
     singleton_mask_[s] = single ? 0xFF : 0x00;
     singleton_count_ += single ? 1u : 0u;
   }
+  singletons_valid_ = true;
 }
 
 template <typename Cell>
@@ -63,8 +71,32 @@ std::uint32_t ClusterTracker::refine_impl(
   if (cluster_of.empty()) return 0;
 
   ++epoch_;
+  if ((epoch_ & 0xFFFFFFFFULL) == 0) [[unlikely]] {
+    // The table keeps only the low 32 epoch bits; on wrap, clear it so
+    // stale entries cannot alias the restarted epoch.
+    std::fill(table_.begin(), table_.end(), 0);
+    ++epoch_;
+  }
+  const std::uint64_t stamp = (epoch_ & 0xFFFFFFFFULL) << 32;
   std::uint32_t next_id = 0;
   const std::size_t n = cluster_of.size();
+  if (!track_singletons_) {
+    // Lean fold: no caller depends on the saturation mask, so skip both
+    // the singleton fast path and the post-refine mask rebuild.
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::uint32_t slot = slot_of(catchment_row[s]);
+      const std::size_t key = std::size_t{cluster_of[s]} * kSlots + slot;
+      std::uint64_t entry = table_[key];
+      if ((entry >> 32) != (stamp >> 32)) {
+        entry = stamp | next_id++;
+        table_[key] = entry;
+      }
+      cluster_of[s] = static_cast<std::uint32_t>(entry);
+    }
+    clustering_.cluster_count = next_id;
+    singletons_valid_ = false;
+    return next_id;
+  }
   std::size_t s = 0;
   while (s < n) {
     if (s + 8 <= n) {
@@ -87,11 +119,12 @@ std::uint32_t ClusterTracker::refine_impl(
     }
     const std::uint32_t slot = slot_of(catchment_row[s]);
     const std::size_t key = std::size_t{cluster_of[s]} * kSlots + slot;
-    if (keys_[key] != epoch_) {
-      keys_[key] = epoch_;
-      order_[key] = next_id++;
+    std::uint64_t entry = table_[key];
+    if ((entry >> 32) != (stamp >> 32)) {
+      entry = stamp | next_id++;
+      table_[key] = entry;
     }
-    cluster_of[s] = order_[key];
+    cluster_of[s] = static_cast<std::uint32_t>(entry);
     ++s;
   }
   clustering_.cluster_count = next_id;
@@ -109,11 +142,34 @@ std::uint32_t ClusterTracker::refine(
   return refine_impl(catchment_row);
 }
 
+std::uint32_t ClusterTracker::refine(const measure::BitplaneStore& planes,
+                                     std::size_t config) {
+  if (planes.sources() != clustering_.cluster_of.size()) {
+    throw std::invalid_argument(
+        "bitplane source count does not match tracker");
+  }
+  // Decode the row back to cell bytes word-parallel (8x8 bit transposes)
+  // and fold it through the byte refine — trivially bit-identical to
+  // refining the source CatchmentStore row.
+  decoded_.resize(planes.sources());
+  planes.decode_row(config, decoded_.data());
+  return refine_impl(std::span<const std::uint8_t>(decoded_));
+}
+
 Clustering cluster_sources(const measure::CatchmentStore& matrix) {
   if (matrix.empty()) return Clustering{};
   ClusterTracker tracker(matrix.sources());
   for (std::size_t c = 0; c < matrix.size(); ++c) {
     tracker.refine(matrix.row(c));
+  }
+  return tracker.current();
+}
+
+Clustering cluster_sources(const measure::BitplaneStore& planes) {
+  if (planes.empty()) return Clustering{};
+  ClusterTracker tracker(planes.sources());
+  for (std::size_t c = 0; c < planes.configs(); ++c) {
+    tracker.refine(planes, c);
   }
   return tracker.current();
 }

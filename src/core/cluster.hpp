@@ -20,6 +20,10 @@
 #include "bgp/catchment.hpp"
 #include "measure/catchment_store.hpp"
 
+namespace spooftrack::measure {
+class BitplaneStore;
+}  // namespace spooftrack::measure
+
 namespace spooftrack::core {
 
 /// A partition of sources into clusters.
@@ -51,6 +55,13 @@ class ClusterTracker {
   /// Same, over raw LinkId cells (legacy row shape).
   std::uint32_t refine(std::span<const bgp::LinkId> catchment_row);
 
+  /// Same partition from a bit-sliced row: the row is decoded back to
+  /// cell bytes word-parallel (BitplaneStore::decode_row, 8x8 bit
+  /// transposes) and folded through the byte refine — ids are
+  /// bit-identical to refining the source CatchmentStore row.
+  std::uint32_t refine(const measure::BitplaneStore& planes,
+                       std::size_t config);
+
   const Clustering& current() const noexcept { return clustering_; }
   std::uint32_t cluster_count() const noexcept {
     return clustering_.cluster_count;
@@ -62,31 +73,47 @@ class ClusterTracker {
   /// Per-source saturation mask: 0xFF when the source's cluster has exactly
   /// one member (it can never split again), 0x00 otherwise. Schedule
   /// evaluation uses it to skip saturated stretches with 64-bit loads.
-  std::span<const std::uint8_t> singleton_mask() const noexcept {
+  ///
+  /// Maintained lazily: the first access switches the tracker into
+  /// singleton-tracking mode for good (the mask is then rebuilt after
+  /// every refine); trackers that never ask — random schedules, one-shot
+  /// clusterings — skip the per-refine rebuild entirely.
+  std::span<const std::uint8_t> singleton_mask() {
+    ensure_singletons();
     return singleton_mask_;
   }
   /// Number of sources whose cluster is a singleton.
-  std::uint32_t singleton_count() const noexcept { return singleton_count_; }
+  std::uint32_t singleton_count() {
+    ensure_singletons();
+    return singleton_count_;
+  }
 
  private:
   template <typename Cell>
   std::uint32_t refine_impl(std::span<const Cell> catchment_row);
+  void ensure_singletons();
   void rebuild_singletons();
 
   Clustering clustering_;
-  // Epoch-stamped scratch tables reused across refine() calls: keys_ holds
-  // the epoch a (cluster, catchment) bucket was last touched, order_ the
-  // dense id assigned to it in that epoch.
-  std::vector<std::uint64_t> keys_;
-  std::vector<std::uint32_t> order_;
+  // Epoch-stamped scratch table reused across refine() calls, one word
+  // per (cluster, catchment) bucket: the epoch it was last touched in the
+  // high 32 bits, the dense id assigned that epoch in the low 32 — one
+  // random access per probe instead of separate key and id tables.
+  std::vector<std::uint64_t> table_;
   std::uint64_t epoch_ = 0;
   std::vector<std::uint8_t> singleton_mask_;
   std::uint32_t singleton_count_ = 0;
+  bool track_singletons_ = false;
+  bool singletons_valid_ = false;
   std::vector<std::uint32_t> size_scratch_;
+  std::vector<std::uint8_t> decoded_;  // bitplane-refine row scratch
 };
 
 /// Convenience: refine with every row of a catchment matrix
 /// (rows = configurations, columns = sources).
 Clustering cluster_sources(const measure::CatchmentStore& matrix);
+
+/// Same partition from the bit-sliced mirror (word-parallel refines).
+Clustering cluster_sources(const measure::BitplaneStore& planes);
 
 }  // namespace spooftrack::core

@@ -1,5 +1,7 @@
 #include "core/prediction.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace spooftrack::core {
@@ -24,6 +26,25 @@ CatchmentPredictor::CatchmentPredictor(std::size_t source_count,
   }
 }
 
+void CatchmentPredictor::observe_source(const ConfigDescriptor& config,
+                                        std::size_t source,
+                                        bgp::LinkId chosen) {
+  if (chosen == bgp::kNoCatchment || chosen >= links_ ||
+      !config.active(chosen)) {
+    return;
+  }
+  seen_[source] = 1;
+  for (bgp::LinkId other = 0; other < links_; ++other) {
+    if (other == chosen || !config.active(other)) continue;
+    auto& count = wins_[index(source, chosen, other)];
+    if (count < std::numeric_limits<std::uint16_t>::max()) ++count;
+    if (config.prepended(chosen) && !config.prepended(other)) {
+      auto& strong = strong_wins_[index(source, chosen, other)];
+      if (strong < std::numeric_limits<std::uint16_t>::max()) ++strong;
+    }
+  }
+}
+
 void CatchmentPredictor::observe(const ConfigDescriptor& config,
                                  std::span<const bgp::LinkId> row) {
   if (row.size() != seen_.size()) {
@@ -31,21 +52,7 @@ void CatchmentPredictor::observe(const ConfigDescriptor& config,
   }
   ++observed_;
   for (std::size_t s = 0; s < row.size(); ++s) {
-    const bgp::LinkId chosen = row[s];
-    if (chosen == bgp::kNoCatchment || chosen >= links_ ||
-        !config.active(chosen)) {
-      continue;
-    }
-    seen_[s] = 1;
-    for (bgp::LinkId other = 0; other < links_; ++other) {
-      if (other == chosen || !config.active(other)) continue;
-      auto& count = wins_[index(s, chosen, other)];
-      if (count < std::numeric_limits<std::uint16_t>::max()) ++count;
-      if (config.prepended(chosen) && !config.prepended(other)) {
-        auto& strong = strong_wins_[index(s, chosen, other)];
-        if (strong < std::numeric_limits<std::uint16_t>::max()) ++strong;
-      }
-    }
+    observe_source(config, s, row[s]);
   }
 }
 
@@ -54,21 +61,47 @@ void CatchmentPredictor::observe(const ConfigDescriptor& config,
   if (row.size() != seen_.size()) {
     throw std::invalid_argument("row size does not match source count");
   }
-  decoded_.resize(row.size());
-  for (std::size_t s = 0; s < row.size(); ++s) {
-    decoded_[s] = measure::CatchmentStore::decode(row[s]);
+  ++observed_;
+  const std::size_t n = row.size();
+  std::size_t s = 0;
+  while (s < n) {
+    if (s + 8 <= n) {
+      // Missing cells contribute nothing; skip saturated-missing stretches
+      // eight encoded cells per 64-bit load.
+      std::uint64_t word;
+      std::memcpy(&word, row.data() + s, sizeof word);
+      if (word == ~std::uint64_t{0}) {
+        s += 8;
+        continue;
+      }
+    }
+    observe_source(config, s, measure::CatchmentStore::decode(row[s]));
+    ++s;
   }
-  observe(config, std::span<const bgp::LinkId>(decoded_));
 }
 
 double CatchmentPredictor::accuracy(
     const ConfigDescriptor& config,
     std::span<const std::uint8_t> actual) const {
   std::size_t total = 0, correct = 0;
-  for (std::size_t s = 0; s < actual.size() && s < seen_.size(); ++s) {
-    if (actual[s] == bgp::kNoCatchment8) continue;
-    ++total;
-    correct += predict(config, s) == actual[s];
+  const std::size_t n = std::min(actual.size(), seen_.size());
+  std::size_t s = 0;
+  while (s < n) {
+    if (s + 8 <= n) {
+      // Word-skip stretches of missing cells (they are excluded from the
+      // accuracy denominator anyway).
+      std::uint64_t word;
+      std::memcpy(&word, actual.data() + s, sizeof word);
+      if (word == ~std::uint64_t{0}) {
+        s += 8;
+        continue;
+      }
+    }
+    if (actual[s] != bgp::kNoCatchment8) {
+      ++total;
+      correct += predict(config, s) == actual[s];
+    }
+    ++s;
   }
   return total == 0 ? 0.0
                     : static_cast<double>(correct) /

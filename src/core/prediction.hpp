@@ -75,6 +75,10 @@ class CatchmentPredictor {
   /// Copeland choice among candidate links (bitmask) for one source.
   bgp::LinkId copeland(std::size_t source, std::uint32_t candidates) const;
 
+  /// Accumulates one source's observed choice into the win tables.
+  void observe_source(const ConfigDescriptor& config, std::size_t source,
+                      bgp::LinkId chosen);
+
   std::size_t links_ = 0;
   std::size_t observed_ = 0;
   /// Pairwise wins "source chose `winner` while `loser` was available".
@@ -83,7 +87,6 @@ class CatchmentPredictor {
   /// evidence that LocalPref, not path length, drives the choice.
   std::vector<std::uint16_t> strong_wins_;
   std::vector<std::uint8_t> seen_;  // per source: any observation at all
-  std::vector<bgp::LinkId> decoded_;  // scratch for encoded-row observe()
 };
 
 }  // namespace spooftrack::core

@@ -7,8 +7,10 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/bitplane_kernels.hpp"
 #include "core/cluster.hpp"
 #include "core/cluster_slots.hpp"
+#include "measure/bitplane_store.hpp"
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -50,6 +52,25 @@ std::uint32_t count_after(std::span<const std::uint32_t> active_src,
   return count;
 }
 
+struct Best {
+  std::size_t config = kNoConfig;
+  std::uint32_t count = 0;
+};
+
+/// Work-per-worker threshold: a step whose whole candidate scan is
+/// cheaper than ~kMinWorkPerChunk cell-visits runs on fewer chunks (down
+/// to inline on the caller — WorkerPool::run(1) wakes no thread), so tiny
+/// matrices stop paying thread wake latency per step. Chunk geometry only
+/// partitions the candidate range; the strictly-greater merge keeps the
+/// schedule bit-identical for any chunk count.
+constexpr std::size_t kMinWorkPerChunk = std::size_t{1} << 16;
+
+std::size_t effective_chunks(std::size_t chunks, std::size_t remaining,
+                             std::size_t active_sources) {
+  const std::size_t work = remaining * (active_sources + 64);
+  return std::clamp<std::size_t>(work / kMinWorkPerChunk, 1, chunks);
+}
+
 }  // namespace
 
 ScheduleTrace random_schedule(const measure::CatchmentStore& matrix,
@@ -61,6 +82,9 @@ ScheduleTrace random_schedule(const measure::CatchmentStore& matrix,
   rng.shuffle(trace.order);
 
   ClusterTracker tracker(matrix.sources());
+  // Random schedules saturate the partition early; opt into singleton
+  // tracking so refines keep the word-packed saturated fast path.
+  tracker.singleton_mask();
   trace.mean_cluster_size.reserve(matrix.size());
   for (std::size_t config : trace.order) {
     tracker.refine(matrix.row(config));
@@ -69,17 +93,13 @@ ScheduleTrace random_schedule(const measure::CatchmentStore& matrix,
   return trace;
 }
 
-ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
-                              std::size_t steps, std::size_t workers) {
-  OBS_TIMER("analysis.schedule_ns");
+namespace {
+
+ScheduleTrace greedy_schedule_byte(const measure::CatchmentStore& matrix,
+                                   std::size_t steps, std::size_t chunks) {
   ScheduleTrace trace;
-  if (matrix.empty()) return trace;
   const std::size_t n = matrix.size();
   const std::size_t source_count = matrix.sources();
-  if (steps == 0 || steps > n) steps = n;
-  if (workers == 0) workers = util::default_worker_count();
-  const std::size_t chunks = std::max<std::size_t>(1, std::min(workers, n));
-  OBS_GAUGE("analysis.schedule_workers", chunks);
 
   ClusterTracker tracker(source_count);
   std::vector<bool> used(n, false);
@@ -93,11 +113,6 @@ ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
   };
   std::vector<Scratch> scratch(chunks);
   for (auto& sc : scratch) sc.stamp.assign(source_count * kSlots, 0);
-
-  struct Best {
-    std::size_t config = kNoConfig;
-    std::uint32_t count = 0;
-  };
   std::vector<Best> best(chunks);
 
   // Compact list of non-singleton sources, rebuilt once per step: the
@@ -146,11 +161,14 @@ ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
         }
       }
     } else {
-      pool.run(chunks, [&](std::size_t w) {
+      const std::size_t eff =
+          effective_chunks(chunks, n - step, active_src.size());
+      OBS_HIST("analysis.kernel.fanout", "chunks", eff);
+      pool.run(eff, [&](std::size_t w) {
         Best b;
         auto& sc = scratch[w];
-        const std::size_t begin = w * n / chunks;
-        const std::size_t end = (w + 1) * n / chunks;
+        const std::size_t begin = w * n / eff;
+        const std::size_t end = (w + 1) * n / eff;
         for (std::size_t c = begin; c < end; ++c) {
           if (used[c]) continue;
           const std::uint32_t bound = b.config == kNoConfig ? 0 : b.count;
@@ -166,7 +184,8 @@ ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
       // ranges, and both the in-chunk scan and this merge replace only on
       // strictly greater counts — so the winner is the lowest-index config
       // with the maximum count, exactly as in a serial scan.
-      for (const Best& b : best) {
+      for (std::size_t w = 0; w < eff; ++w) {
+        const Best& b = best[w];
         if (b.config == kNoConfig) continue;
         if (winner.config == kNoConfig || b.count > winner.count) winner = b;
       }
@@ -178,6 +197,127 @@ ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
     trace.mean_cluster_size.push_back(tracker.mean_cluster_size());
   }
   return trace;
+}
+
+ScheduleTrace greedy_schedule_bitplane(const measure::CatchmentStore& matrix,
+                                       std::size_t steps,
+                                       std::size_t chunks) {
+  ScheduleTrace trace;
+  const std::size_t n = matrix.size();
+
+  // Built once per schedule; candidate scans then count distinct slots
+  // through per-cluster presence bitmaps — plane-word DFS for dense mask
+  // words, direct byte reads for sparse ones — instead of probing the
+  // sources x kSlots stamp table the byte kernel walks.
+  const measure::BitplaneStore planes(matrix);
+  const std::size_t words = planes.words();
+
+  ClusterTracker tracker(matrix.sources());
+  std::vector<bool> used(n, false);
+  std::vector<Best> best(chunks);
+  std::vector<std::vector<std::uint32_t>> order(chunks);
+  ClusterMasks masks;
+  util::WorkerPool pool(chunks - 1);
+
+  // Best-first candidate ordering: refinement only ever splits clusters,
+  // so a candidate's count from an earlier step is a lower bound on its
+  // count now. Scanning each chunk in descending last-known count puts a
+  // near-maximal bound in place after the first candidate, and losers
+  // abort after a fraction of their sources. Aborted scans still return
+  // valid lower bounds, so they update the ordering too.
+  std::vector<std::uint32_t> last_count(n, 0);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto& cluster_of = tracker.current().cluster_of;
+    const auto mask = tracker.singleton_mask();
+    const std::uint32_t singles = tracker.singleton_count();
+    masks.build(cluster_of, tracker.cluster_count(), mask);
+
+    Best winner;
+    if (masks.cluster_count() == 0) {
+      // Fully saturated partition: every candidate refines to exactly
+      // `singles` clusters; take the lowest-index unused config directly.
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!used[c]) {
+          winner = {c, singles};
+          break;
+        }
+      }
+    } else {
+      const std::size_t eff =
+          effective_chunks(chunks, n - step, masks.active_sources());
+      OBS_HIST("analysis.kernel.fanout", "chunks", eff);
+      const bool plane_partition = masks.prefer_plane_partition();
+      pool.run(eff, [&](std::size_t w) {
+        Best b;
+        auto& ord = order[w];
+        ord.clear();
+        const std::size_t begin = w * n / eff;
+        const std::size_t end = (w + 1) * n / eff;
+        for (std::size_t c = begin; c < end; ++c) {
+          if (!used[c]) ord.push_back(static_cast<std::uint32_t>(c));
+        }
+        std::stable_sort(ord.begin(), ord.end(),
+                         [&](std::uint32_t a, std::uint32_t c) {
+                           return last_count[a] > last_count[c];
+                         });
+        for (const std::uint32_t c : ord) {
+          // Out-of-index-order scanning: a lower-index candidate beats the
+          // incumbent already on a tie, so it may only abort against
+          // bound - 1 (b.count >= 1 whenever b is set: every retained
+          // cluster contributes at least one bucket).
+          const std::uint32_t bound =
+              b.config == kNoConfig ? 0 : b.count - (c < b.config ? 1 : 0);
+          const std::uint32_t count =
+              plane_partition
+                  ? count_after_bitplane(masks, singles, matrix.row(c).data(),
+                                         planes.row_planes(c), words, bound)
+                  : count_after_members(masks, singles, matrix.row(c).data(),
+                                        bound);
+          if (b.config == kNoConfig || count > b.count ||
+              (count == b.count && c < b.config)) {
+            b = {c, count};
+          }
+          if (count > last_count[c]) last_count[c] = count;
+        }
+        best[w] = b;
+      });
+
+      // Deterministic reduction: chunks cover ascending contiguous config
+      // ranges and each worker's best is its chunk's lowest-index max, so
+      // the strictly-greater merge yields the lowest-index config with
+      // the maximum count — exactly the byte kernel's serial winner.
+      for (std::size_t w = 0; w < eff; ++w) {
+        const Best& b = best[w];
+        if (b.config == kNoConfig) continue;
+        if (winner.config == kNoConfig || b.count > winner.count) winner = b;
+      }
+    }
+    if (winner.config == kNoConfig) break;
+    used[winner.config] = true;
+    tracker.refine(planes, winner.config);
+    trace.order.push_back(winner.config);
+    trace.mean_cluster_size.push_back(tracker.mean_cluster_size());
+  }
+  return trace;
+}
+
+}  // namespace
+
+ScheduleTrace greedy_schedule(const measure::CatchmentStore& matrix,
+                              std::size_t steps, std::size_t workers,
+                              GreedyKernel kernel) {
+  OBS_TIMER("analysis.schedule_ns");
+  ScheduleTrace trace;
+  if (matrix.empty()) return trace;
+  const std::size_t n = matrix.size();
+  if (steps == 0 || steps > n) steps = n;
+  if (workers == 0) workers = util::default_worker_count();
+  const std::size_t chunks = std::max<std::size_t>(1, std::min(workers, n));
+  OBS_GAUGE("analysis.schedule_workers", chunks);
+  return kernel == GreedyKernel::kByte
+             ? greedy_schedule_byte(matrix, steps, chunks)
+             : greedy_schedule_bitplane(matrix, steps, chunks);
 }
 
 ScheduleTrace weighted_greedy_schedule(

@@ -1,7 +1,11 @@
 #include "measure/catchment_store.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include "obs/obs.hpp"
 
 namespace spooftrack::measure {
 
@@ -63,6 +67,34 @@ void CatchmentStore::assign(std::size_t configs, std::size_t sources) {
   rows_ = configs;
   cols_ = sources;
   cells_.assign(configs * sources, kNoCatchment8);
+}
+
+void CatchmentStore::gather_column(std::size_t source,
+                                   std::uint8_t* out) const {
+  const std::uint32_t sources[] = {static_cast<std::uint32_t>(source)};
+  gather_columns(sources, out);
+}
+
+void CatchmentStore::gather_columns(std::span<const std::uint32_t> sources,
+                                    std::uint8_t* out) const {
+  OBS_TIMER("analysis.kernel.gather_ns");
+  constexpr std::size_t kTile = 64;
+  for (std::size_t c0 = 0; c0 < rows_; c0 += kTile) {
+    const std::size_t c1 = std::min(rows_, c0 + kTile);
+    for (std::size_t j = 0; j < sources.size(); ++j) {
+      const std::uint8_t* base = cells_.data() + sources[j];
+      std::uint8_t* dst = out + j * rows_ + c0;
+      std::size_t c = c0;
+      for (; c + 8 <= c1; c += 8) {
+        std::uint64_t pack = 0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          pack |= static_cast<std::uint64_t>(base[(c + k) * cols_]) << (8 * k);
+        }
+        std::memcpy(dst + (c - c0), &pack, 8);
+      }
+      for (; c < c1; ++c) dst[c - c0] = base[c * cols_];
+    }
+  }
 }
 
 CatchmentMatrix CatchmentStore::to_rows() const {

@@ -137,6 +137,18 @@ class CatchmentStore {
   /// Resets to configs x sources, every cell missing.
   void assign(std::size_t configs, std::size_t sources);
 
+  /// Gathers one source's trajectory into a contiguous buffer:
+  /// out[c] = cell(c, source). `out` must hold configs() bytes.
+  void gather_column(std::size_t source, std::uint8_t* out) const;
+
+  /// Tiled word-gather of several columns at once: out[j * configs() + c]
+  /// = cell(c, sources[j]). Walks the matrix in 64-row tiles, packing 8
+  /// cells per column into one u64 store, so the matrix rows are streamed
+  /// with cache reuse across columns instead of one cache-hostile strided
+  /// walk per column (the ColumnView pattern this replaces).
+  void gather_columns(std::span<const std::uint32_t> sources,
+                      std::uint8_t* out) const;
+
   /// Whole-buffer access for bulk serialization. Cells are stored exactly
   /// as the artifact format writes them (encoded bytes, 0xFF missing).
   const std::uint8_t* data() const noexcept { return cells_.data(); }

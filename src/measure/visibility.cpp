@@ -1,6 +1,9 @@
 #include "measure/visibility.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <numeric>
 
 #include "obs/obs.hpp"
 
@@ -36,16 +39,32 @@ CatchmentStore build_matrix(const std::vector<InferenceResult>& per_config,
 
 namespace {
 
+constexpr std::uint64_t kLow7 = 0x7F7F7F7F7F7F7F7FULL;
+
+/// 0x80 in every byte lane of `v` that is zero; exact per lane (the
+/// (v & 0x7F) + 0x7F add cannot carry across lanes).
+inline std::uint64_t zero_byte_mask(std::uint64_t v) noexcept {
+  return ~(((v & kLow7) + kLow7) | v | kLow7);
+}
+
 /// Number of configurations where both sources were observed in the same
-/// catchment. Columns are strided views over the row-major store.
-std::uint32_t co_catchment_count(const CatchmentStore& matrix,
-                                 std::size_t s, std::size_t t) {
-  const auto col_s = matrix.column(s);
-  const auto col_t = matrix.column(t);
+/// catchment, over contiguous (pre-gathered) columns: eight cells per
+/// iteration via SWAR equality + missing masks.
+std::uint32_t co_catchment_count(const std::uint8_t* a, const std::uint8_t* b,
+                                 std::size_t configs) {
   std::uint32_t count = 0;
-  for (std::size_t c = 0; c < matrix.size(); ++c) {
-    const std::uint8_t a = col_s[c];
-    if (a != kNoCatchment8 && a == col_t[c]) ++count;
+  std::size_t c = 0;
+  for (; c + 8 <= configs; c += 8) {
+    std::uint64_t x;
+    std::uint64_t y;
+    std::memcpy(&x, a + c, sizeof x);
+    std::memcpy(&y, b + c, sizeof y);
+    const std::uint64_t equal = zero_byte_mask(x ^ y);
+    const std::uint64_t missing = zero_byte_mask(~x);
+    count += static_cast<std::uint32_t>(std::popcount(equal & ~missing));
+  }
+  for (; c < configs; ++c) {
+    if (a[c] != kNoCatchment8 && a[c] == b[c]) ++count;
   }
   return count;
 }
@@ -55,16 +74,22 @@ std::uint32_t co_catchment_count(const CatchmentStore& matrix,
 void impute_missing(CatchmentStore& matrix) {
   if (matrix.empty()) return;
   const std::size_t source_count = matrix.sources();
+  const std::size_t configs = matrix.size();
+
+  // Columns gathered contiguous once (tiled word-gather) and kept in sync
+  // with every fill below — the second pass must see the first pass's
+  // imputed values, exactly as the strided in-place walk did.
+  std::vector<std::uint32_t> all_sources(source_count);
+  std::iota(all_sources.begin(), all_sources.end(), 0u);
+  std::vector<std::uint8_t> cols(source_count * configs);
+  matrix.gather_columns(all_sources, cols.data());
+  const auto col = [&](std::size_t s) { return cols.data() + s * configs; };
 
   // Sources with at least one missing cell.
   std::vector<std::size_t> incomplete;
   for (std::size_t s = 0; s < source_count; ++s) {
-    const auto col = matrix.column(s);
-    for (std::size_t c = 0; c < matrix.size(); ++c) {
-      if (col[c] == kNoCatchment8) {
-        incomplete.push_back(s);
-        break;
-      }
+    if (std::memchr(col(s), kNoCatchment8, configs) != nullptr) {
+      incomplete.push_back(s);
     }
   }
   if (incomplete.empty()) return;
@@ -77,17 +102,19 @@ void impute_missing(CatchmentStore& matrix) {
       std::uint32_t best = 0;
       for (std::size_t t = 0; t < source_count; ++t) {
         if (t == s) continue;
-        const std::uint32_t count = co_catchment_count(matrix, s, t);
+        const std::uint32_t count = co_catchment_count(col(s), col(t),
+                                                       configs);
         if (count > best) {
           best = count;
           smax = t;
         }
       }
       if (smax == source_count) continue;  // never co-observed with anyone
-      for (std::size_t c = 0; c < matrix.size(); ++c) {
-        if (matrix.cell(c, s) == kNoCatchment8 &&
-            matrix.cell(c, smax) != kNoCatchment8) {
-          matrix.row(c)[s] = matrix.cell(c, smax);
+      for (std::size_t c = 0; c < configs; ++c) {
+        const std::uint8_t donor = col(smax)[c];
+        if (col(s)[c] == kNoCatchment8 && donor != kNoCatchment8) {
+          matrix.row(c)[s] = donor;
+          col(s)[c] = donor;
         }
       }
     }

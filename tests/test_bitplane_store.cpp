@@ -1,0 +1,387 @@
+// Equivalence suite for the bit-sliced analysis kernels (ISSUE 9): the
+// BitplaneStore mirror and every kernel running on it — plane-partition
+// refinement, the bitplane greedy scheduler, the tiled column gather —
+// must be bit-identical to the byte-store algorithms, for every worker
+// count and for both SIMD dispatch paths.
+#include "measure/bitplane_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/catchment.hpp"
+#include "core/bitplane_kernels.hpp"
+#include "core/cluster.hpp"
+#include "core/cluster_slots.hpp"
+#include "core/scheduler.hpp"
+#include "measure/catchment_store.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace spooftrack {
+namespace {
+
+constexpr std::uint32_t kLinkCount = 9;
+
+/// Hidden-group matrix with missing cells and noise, mirroring the PR4
+/// generator; `sources` is deliberately varied across word-boundary
+/// widths (13, 64, 65, 100, ...) by the tests.
+measure::CatchmentStore random_store(std::size_t configs, std::size_t sources,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xB17);
+  const std::size_t groups = std::max<std::size_t>(3, sources / 6);
+  std::vector<std::size_t> group_of(sources);
+  for (auto& g : group_of) g = rng.next_below(groups);
+
+  measure::CatchmentStore store(0, sources);
+  std::vector<std::uint8_t> row(sources);
+  std::vector<std::uint8_t> prototype(groups);
+  for (std::size_t c = 0; c < configs; ++c) {
+    for (auto& p : prototype) {
+      p = static_cast<std::uint8_t>(rng.next_below(kLinkCount));
+    }
+    for (std::size_t s = 0; s < sources; ++s) {
+      if (rng.chance(0.05)) {
+        row[s] = measure::kNoCatchment8;
+      } else if (rng.chance(0.05)) {
+        row[s] = static_cast<std::uint8_t>(rng.next_below(kLinkCount));
+      } else {
+        row[s] = prototype[group_of[s]];
+      }
+    }
+    store.append_row(row);
+  }
+  return store;
+}
+
+/// Exercises the full valid cell range, not just small link ids.
+measure::CatchmentStore full_range_store(std::size_t configs,
+                                         std::size_t sources,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xF0LL);
+  measure::CatchmentStore store(0, sources);
+  std::vector<std::uint8_t> row(sources);
+  for (std::size_t c = 0; c < configs; ++c) {
+    for (auto& cell : row) {
+      cell = rng.chance(0.2) ? measure::kNoCatchment8
+                             : static_cast<std::uint8_t>(
+                                   rng.next_below(bgp::kMaxCatchmentLinks));
+    }
+    store.append_row(row);
+  }
+  return store;
+}
+
+class SimdLevels : public ::testing::TestWithParam<util::SimdLevel> {
+ protected:
+  void SetUp() override { util::force_simd_level(GetParam()); }
+  void TearDown() override { util::force_simd_level(std::nullopt); }
+};
+
+INSTANTIATE_TEST_SUITE_P(BitplaneStore, SimdLevels,
+                         ::testing::Values(util::SimdLevel::kScalar,
+                                           util::SimdLevel::kWide),
+                         [](const auto& info) {
+                           return std::string(
+                               util::simd_level_name(info.param));
+                         });
+
+// --- Construction, round trip, plane layout -------------------------------
+
+TEST_P(SimdLevels, CellsMatchStoreAcrossWidths) {
+  for (const std::size_t sources : {1u, 7u, 13u, 63u, 64u, 65u, 100u, 190u}) {
+    const auto store = full_range_store(11, sources, sources);
+    const measure::BitplaneStore planes(store);
+    ASSERT_EQ(planes.configs(), store.configs());
+    ASSERT_EQ(planes.sources(), store.sources());
+    ASSERT_EQ(planes.words(), (sources + 63) / 64);
+    for (std::size_t c = 0; c < store.configs(); ++c) {
+      for (std::size_t s = 0; s < sources; ++s) {
+        ASSERT_EQ(planes.cell(c, s), store.cell(c, s))
+            << "sources=" << sources << " cell (" << c << ", " << s << ")";
+      }
+    }
+  }
+}
+
+TEST_P(SimdLevels, RoundTripIsExact) {
+  for (const std::size_t sources : {13u, 64u, 65u, 100u}) {
+    const auto store = random_store(17, sources, 3 * sources);
+    const measure::BitplaneStore planes(store);
+    EXPECT_EQ(planes.to_store(), store) << "sources=" << sources;
+  }
+}
+
+TEST_P(SimdLevels, MissingCellsReadAsMissingSlotInValuePlanes) {
+  // A missing cell must carry all six value bits (slot 63 == kMissingSlot,
+  // exactly what core::slot_of folds 0xFF into) plus the missing-plane bit.
+  measure::CatchmentStore store(0, 70);
+  std::vector<std::uint8_t> row(70, 5);
+  row[0] = measure::kNoCatchment8;
+  row[69] = measure::kNoCatchment8;
+  store.append_row(row);
+  const measure::BitplaneStore planes(store);
+  EXPECT_EQ(planes.slot_at(0, 0), core::kMissingSlot);
+  EXPECT_EQ(planes.slot_at(0, 69), core::kMissingSlot);
+  EXPECT_TRUE(planes.missing_at(0, 0));
+  EXPECT_TRUE(planes.missing_at(0, 69));
+  EXPECT_FALSE(planes.missing_at(0, 1));
+  EXPECT_EQ(planes.slot_at(0, 1), 5u);
+  EXPECT_EQ(planes.missing_cells(), 2u);
+}
+
+TEST_P(SimdLevels, PaddingLanesAreZeroInEveryPlane) {
+  const auto store = random_store(5, 70, 99);
+  const measure::BitplaneStore planes(store);
+  const std::uint64_t tail_mask = ~std::uint64_t{0} << (70 - 64);
+  for (std::size_t c = 0; c < planes.configs(); ++c) {
+    for (std::size_t p = 0; p < measure::BitplaneStore::kPlanes; ++p) {
+      EXPECT_EQ(planes.plane(c, p)[1] & tail_mask, 0u)
+          << "config " << c << " plane " << p;
+    }
+  }
+}
+
+TEST_P(SimdLevels, InvalidCellsThrow) {
+  // CatchmentStore validates on ingest, so smuggle invalid bytes in
+  // through the mutable buffer — BitplaneStore must still catch them.
+  for (const std::uint8_t bad : {std::uint8_t{62}, std::uint8_t{0x80},
+                                 std::uint8_t{0xFE}}) {
+    for (const std::size_t victim : {0u, 31u, 64u, 76u}) {
+      measure::CatchmentStore store(2, 77);
+      store.data()[77 + victim] = bad;
+      EXPECT_THROW(measure::BitplaneStore{store}, std::out_of_range)
+          << "bad=" << int{bad} << " victim=" << victim;
+    }
+  }
+}
+
+TEST(BitplaneStoreTest, ScalarAndWideBuildsAreBitIdentical) {
+  for (const std::size_t sources : {13u, 64u, 65u, 100u, 333u}) {
+    const auto store = full_range_store(19, sources, 7 * sources);
+    util::force_simd_level(util::SimdLevel::kScalar);
+    const measure::BitplaneStore scalar(store);
+    util::force_simd_level(util::SimdLevel::kWide);
+    const measure::BitplaneStore wide(store);
+    util::force_simd_level(std::nullopt);
+    EXPECT_EQ(scalar, wide) << "sources=" << sources;
+  }
+}
+
+TEST(BitplaneStoreTest, EmptyAndZeroSourceMatrices) {
+  const measure::CatchmentStore empty;
+  const measure::BitplaneStore planes(empty);
+  EXPECT_TRUE(planes.empty());
+  EXPECT_EQ(planes.missing_cells(), 0u);
+  EXPECT_EQ(planes.to_store(), empty);
+
+  // Rows with zero columns: words() is 0 and every kernel is a no-op.
+  measure::CatchmentStore rows_only(3, 0);
+  const measure::BitplaneStore no_cols(rows_only);
+  EXPECT_EQ(no_cols.configs(), 3u);
+  EXPECT_EQ(no_cols.words(), 0u);
+  EXPECT_EQ(no_cols.missing_cells(), 0u);
+}
+
+TEST(BitplaneStoreTest, MissingCellsMatchesByteScan) {
+  const auto store = full_range_store(23, 131, 42);
+  const measure::BitplaneStore planes(store);
+  std::uint64_t expected = 0;
+  for (std::size_t c = 0; c < store.configs(); ++c) {
+    for (const std::uint8_t cell : store.row(c)) {
+      expected += cell == measure::kNoCatchment8 ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(planes.missing_cells(), expected);
+}
+
+// --- Popcount dispatch ----------------------------------------------------
+
+TEST(SimdDispatch, PopcountMatchesScalarOnBothPaths) {
+  util::Rng rng(0xC0DE);
+  std::vector<std::uint64_t> words(137);
+  for (auto& w : words) {
+    w = rng.next_below(~std::uint64_t{0});
+    if (rng.chance(0.1)) w = 0;
+    if (rng.chance(0.1)) w = ~std::uint64_t{0};
+  }
+  const std::uint64_t expected =
+      util::popcount_words_scalar(words.data(), words.size());
+  for (const auto level :
+       {util::SimdLevel::kScalar, util::SimdLevel::kWide}) {
+    util::force_simd_level(level);
+    EXPECT_EQ(util::popcount_words(words.data(), words.size()), expected)
+        << util::simd_level_name(level);
+  }
+  util::force_simd_level(std::nullopt);
+}
+
+TEST(SimdDispatch, ForcedWideClampsToHardware) {
+  util::force_simd_level(util::SimdLevel::kWide);
+  if (util::detected_simd_level() == util::SimdLevel::kScalar) {
+    EXPECT_EQ(util::active_simd_level(), util::SimdLevel::kScalar);
+  } else {
+    EXPECT_EQ(util::active_simd_level(), util::SimdLevel::kWide);
+  }
+  util::force_simd_level(std::nullopt);
+}
+
+// --- Cluster refinement equivalence ---------------------------------------
+
+TEST_P(SimdLevels, BitplaneRefineMatchesByteRefine) {
+  for (const std::size_t sources : {13u, 65u, 190u}) {
+    const auto store = random_store(31, sources, 11 * sources);
+    const measure::BitplaneStore planes(store);
+    core::ClusterTracker byte_tracker(sources);
+    core::ClusterTracker plane_tracker(sources);
+    for (std::size_t c = 0; c < store.configs(); ++c) {
+      const auto byte_count = byte_tracker.refine(store.row(c));
+      const auto plane_count = plane_tracker.refine(planes, c);
+      ASSERT_EQ(plane_count, byte_count) << "config " << c;
+      ASSERT_EQ(plane_tracker.current().cluster_of,
+                byte_tracker.current().cluster_of)
+          << "config " << c;
+    }
+  }
+}
+
+TEST_P(SimdLevels, ClusterSourcesOverloadsAgree) {
+  const auto store = random_store(21, 77, 5);
+  const measure::BitplaneStore planes(store);
+  const auto from_bytes = core::cluster_sources(store);
+  const auto from_planes = core::cluster_sources(planes);
+  EXPECT_EQ(from_planes.cluster_of, from_bytes.cluster_of);
+  EXPECT_EQ(from_planes.cluster_count, from_bytes.cluster_count);
+}
+
+TEST(BitplaneKernels, SingletonLazinessSurvivesInterleavedAccess) {
+  // Enable singleton tracking mid-stream: the mask must match a tracker
+  // that tracked from the start.
+  const auto store = random_store(15, 50, 77);
+  core::ClusterTracker eager(50);
+  eager.singleton_mask();
+  core::ClusterTracker lazy(50);
+  for (std::size_t c = 0; c < store.configs(); ++c) {
+    eager.refine(store.row(c));
+    lazy.refine(store.row(c));
+    if (c == 7) {
+      // First access flips lazy into tracking mode.
+      ASSERT_EQ(lazy.singleton_count(), eager.singleton_count());
+    }
+  }
+  const auto lazy_mask = lazy.singleton_mask();
+  const auto eager_mask = eager.singleton_mask();
+  ASSERT_TRUE(std::equal(lazy_mask.begin(), lazy_mask.end(),
+                         eager_mask.begin(), eager_mask.end()));
+  EXPECT_EQ(lazy.singleton_count(), eager.singleton_count());
+  EXPECT_EQ(lazy.current().cluster_of, eager.current().cluster_of);
+}
+
+// --- count_after equivalence ---------------------------------------------
+
+TEST_P(SimdLevels, CountAfterMatchesStampReference) {
+  const std::size_t sources = 130;
+  const auto store = random_store(40, sources, 123);
+  const measure::BitplaneStore planes(store);
+
+  core::ClusterTracker tracker(sources);
+  // Partially refine so clusters of several sizes exist.
+  for (std::size_t c = 0; c < 3; ++c) tracker.refine(store.row(c));
+
+  const auto mask = tracker.singleton_mask();
+  const std::uint32_t singles = tracker.singleton_count();
+  core::ClusterMasks masks;
+  masks.build(tracker.current().cluster_of, tracker.cluster_count(), mask);
+
+  for (std::size_t c = 0; c < store.configs(); ++c) {
+    // Stamp-table reference: distinct (cluster, slot) buckets.
+    std::vector<std::uint8_t> seen(
+        std::size_t{tracker.cluster_count()} * core::kSlots, 0);
+    std::uint32_t expected = singles;
+    const auto& cluster_of = tracker.current().cluster_of;
+    for (std::size_t s = 0; s < sources; ++s) {
+      if (mask[s] != 0) continue;
+      const std::size_t key = std::size_t{cluster_of[s]} * core::kSlots +
+                              core::slot_of(store.cell(c, s));
+      if (seen[key] == 0) {
+        seen[key] = 1;
+        ++expected;
+      }
+    }
+    const std::uint32_t counted = core::count_after_bitplane(
+        masks, singles, store.row(c).data(), planes.row_planes(c),
+        planes.words(), /*bound=*/0);
+    ASSERT_EQ(counted, expected) << "config " << c;
+    const std::uint32_t by_members = core::count_after_members(
+        masks, singles, store.row(c).data(), /*bound=*/0);
+    ASSERT_EQ(by_members, expected) << "config " << c;
+
+    // With bound == the exact count, the abort may fire but must never
+    // report more than the true count.
+    const std::uint32_t bounded = core::count_after_bitplane(
+        masks, singles, store.row(c).data(), planes.row_planes(c),
+        planes.words(), expected);
+    ASSERT_LE(bounded, expected);
+    ASSERT_LE(core::count_after_members(masks, singles, store.row(c).data(),
+                                        expected),
+              expected);
+  }
+}
+
+// --- Scheduler equivalence ------------------------------------------------
+
+TEST_P(SimdLevels, GreedyKernelsAgreeForAllWorkerCounts) {
+  for (const std::size_t sources : {29u, 100u}) {
+    const auto store = random_store(24, sources, 1000 + sources);
+    const auto reference =
+        core::greedy_schedule(store, 0, 1, core::GreedyKernel::kByte);
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      for (const auto kernel :
+           {core::GreedyKernel::kBitplane, core::GreedyKernel::kByte}) {
+        const auto trace = core::greedy_schedule(store, 0, workers, kernel);
+        ASSERT_EQ(trace.order, reference.order)
+            << "sources=" << sources << " workers=" << workers;
+        ASSERT_EQ(trace.mean_cluster_size, reference.mean_cluster_size)
+            << "sources=" << sources << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(BitplaneKernels, GreedyDefaultsToBitplaneKernel) {
+  const auto store = random_store(12, 40, 4242);
+  const auto defaulted = core::greedy_schedule(store);
+  const auto bitplane =
+      core::greedy_schedule(store, 0, 0, core::GreedyKernel::kBitplane);
+  EXPECT_EQ(defaulted.order, bitplane.order);
+}
+
+// --- Column gather --------------------------------------------------------
+
+TEST(ColumnGather, MatchesStridedColumnView) {
+  const auto store = full_range_store(37, 90, 9);
+  std::vector<std::uint32_t> columns = {0, 1, 17, 63, 64, 89, 42};
+  std::vector<std::uint8_t> gathered(columns.size() * store.configs());
+  store.gather_columns(columns, gathered.data());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    const auto view = store.column(columns[j]);
+    for (std::size_t c = 0; c < store.configs(); ++c) {
+      ASSERT_EQ(gathered[j * store.configs() + c], view[c])
+          << "column " << columns[j] << " config " << c;
+    }
+  }
+
+  std::vector<std::uint8_t> single(store.configs());
+  store.gather_column(17, single.data());
+  const auto view = store.column(17);
+  for (std::size_t c = 0; c < store.configs(); ++c) {
+    ASSERT_EQ(single[c], view[c]);
+  }
+}
+
+}  // namespace
+}  // namespace spooftrack
