@@ -1,0 +1,175 @@
+// Campaign-journal overhead: wall-clock comparison of a journal-off deploy
+// against the same deploy committing a crash-consistent journal record per
+// configuration (docs/checkpointing.md), plus the resume path replaying a
+// completed journal and skipping every measurement.
+//
+// Every run is digested and the bench fails — exit nonzero, "equivalent":
+// false — if journaling or resuming perturbs a single result: the journal's
+// contract is crash consistency at zero semantic cost. The overhead target
+// is <3% single-thread with fsync barriers off (the barriers are the
+// dominant cost on real disks and are measured separately as
+// journal_fsync_ms).
+//
+// Usage: perf_journal [--quick] [--stubs=N] [--seed=N] [--obs-report=PATH]
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/config_gen.hpp"
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spooftrack;
+
+std::uint64_t digest(const core::DeploymentResult& result) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  const auto mix = [&h](std::uint64_t v) { h = util::hash_combine(h, v); };
+  for (const std::uint32_t rounds : result.engine_rounds) mix(rounds);
+  for (const topology::AsId id : result.sources) mix(id);
+  for (const std::uint32_t d : result.min_route_distance) mix(d);
+  for (const auto& truth : result.truth) {
+    for (const bgp::LinkId link : truth.link_of) mix(link);
+  }
+  const std::uint8_t* cells = result.matrix.data();
+  for (std::size_t i = 0; i < result.matrix.size_bytes(); ++i) mix(cells[i]);
+  for (const auto& inferred : result.measured) mix(inferred.covered_count);
+  mix(static_cast<std::uint64_t>(result.mean_coverage * 1e6));
+  mix(static_cast<std::uint64_t>(result.mean_multi_catchment * 1e9));
+  return h;
+}
+
+struct Run {
+  double ms = 0.0;
+  std::uint64_t checksum = 0;
+  std::uint64_t resumed = 0;
+};
+
+Run deploy_once(core::TestbedConfig config,
+                const std::vector<bgp::Configuration>& plan) {
+  config.measure_workers = 1;
+  const core::PeeringTestbed testbed(config);
+  const obs::Stopwatch watch;
+  const auto result = testbed.deploy(plan);
+  return {watch.elapsed_ms(), digest(result), result.resumed_configs};
+}
+
+Run best_of(int repeats, const core::TestbedConfig& config,
+            const std::vector<bgp::Configuration>& plan) {
+  Run best = deploy_once(config, plan);
+  for (int i = 1; i < repeats; ++i) {
+    const Run run = deploy_once(config, plan);
+    best.ms = std::min(best.ms, run.ms);
+    best.resumed = run.resumed;  // identical across repeats by contract
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::parse(argc, argv);
+  if (options.quick) {
+    options.stubs = 400;
+    options.transit = 60;
+    options.probes = 150;
+    options.rounds = 2;
+  }
+  // Percentage overhead on a ~10ms deploy needs best-of-N to be stable.
+  const int repeats = options.quick ? 5 : 3;
+
+  core::TestbedConfig config = options.testbed_config();
+
+  const core::PeeringTestbed planner(config);
+  auto plan = planner.generator().location_phase();
+  const auto prepends = planner.generator().prepend_phase(plan);
+  plan.insert(plan.end(), prepends.begin(), prepends.end());
+  const std::size_t cap = options.quick ? 16 : 48;
+  if (plan.size() > cap) plan.resize(cap);
+
+  std::cerr << "[bench] " << plan.size() << " configurations, "
+            << planner.graph().size() << " ASes\n";
+
+  util::ensure_directory(options.cache_dir);
+  const std::string journal_dir = options.cache_dir + "/perf_journal_wal";
+
+  // Journal off: the reference for both results and wall-clock.
+  const Run off = best_of(repeats, config, plan);
+
+  // Journal on, fsync barriers off: the framing/CRC/commit-record cost the
+  // <3% target covers. Each run starts fresh (the writer wipes the dir).
+  core::TestbedConfig journaled = config;
+  journaled.journal.dir = journal_dir;
+  journaled.journal.fsync = false;
+  const Run on = best_of(repeats, journaled, plan);
+
+  // Journal on with real fsync barriers: the durability price on this disk.
+  // Small segments here so the measured worst case includes atomic
+  // rotations (and the resume below replays a multi-segment journal).
+  core::TestbedConfig durable = journaled;
+  durable.journal.fsync = true;
+  durable.journal.segment_records = 5;
+  const Run synced = best_of(repeats, durable, plan);
+
+  // Resume of the complete journal left by the last durable run: replay,
+  // verify every digest, skip every measurement, re-seed the warm chains.
+  core::TestbedConfig resumed = durable;
+  resumed.journal.resume = true;
+  const Run resume = deploy_once(resumed, plan);
+
+  const bool equivalent = on.checksum == off.checksum &&
+                          synced.checksum == off.checksum &&
+                          resume.checksum == off.checksum &&
+                          resume.resumed == plan.size();
+  const double overhead_pct =
+      off.ms > 0.0 ? (on.ms - off.ms) / off.ms * 100.0 : 0.0;
+  const double fsync_pct =
+      off.ms > 0.0 ? (synced.ms - off.ms) / off.ms * 100.0 : 0.0;
+
+  std::cout << "{\n"
+            << "  \"bench\": \"perf_journal\",\n"
+            << "  \"configs\": " << plan.size() << ",\n"
+            << "  \"as_count\": " << planner.graph().size() << ",\n"
+            << "  \"journal_off_ms\": " << util::fmt_double(off.ms, 2) << ",\n"
+            << "  \"journal_on_ms\": " << util::fmt_double(on.ms, 2) << ",\n"
+            << "  \"journal_fsync_ms\": " << util::fmt_double(synced.ms, 2)
+            << ",\n"
+            << "  \"resume_ms\": " << util::fmt_double(resume.ms, 2) << ",\n"
+            << "  \"resumed_configs\": " << resume.resumed << ",\n"
+            << "  \"overhead_pct\": " << util::fmt_double(overhead_pct, 2)
+            << ",\n"
+            << "  \"overhead_target_pct\": 3.0,\n"
+            << "  \"fsync_overhead_pct\": " << util::fmt_double(fsync_pct, 2)
+            << ",\n"
+            << "  \"equivalent\": " << (equivalent ? "true" : "false") << "\n"
+            << "}\n";
+
+  const int rc = bench::finish(options, "perf_journal", [&](auto& report) {
+    report.value("configs", static_cast<double>(plan.size()))
+        .value("as_count", static_cast<double>(planner.graph().size()))
+        .value("journal_off_ms", off.ms)
+        .value("journal_on_ms", on.ms)
+        .value("journal_fsync_ms", synced.ms)
+        .value("resume_ms", resume.ms)
+        .value("resumed_configs", static_cast<double>(resume.resumed))
+        .value("overhead_pct", overhead_pct)
+        .value("overhead_target_pct", 3.0)
+        .value("fsync_overhead_pct", fsync_pct)
+        .label("equivalent", equivalent ? "true" : "false");
+  });
+
+  if (!equivalent) {
+    std::cerr << "FAIL: journaled or resumed deployment diverged from the "
+                 "journal-off reference\n";
+    return 1;
+  }
+  return rc;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -169,7 +170,115 @@ void merge_quality(fault::ConfigQuality& into,
   into.grade = fault::grade_config(into, plan);
 }
 
+std::uint64_t hash_double(std::uint64_t h, double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return util::hash_combine(h, bits);
+}
+
+/// The campaign identity recorded in every journal segment header. Covers
+/// everything that determines deployment *results* — testbed seed, topology
+/// shape, measurement plan, fault probabilities/budget/thresholds, and the
+/// full configuration plan — and deliberately excludes execution shape
+/// (measure_workers, pipeline mode/depth, kill-point settings, the journal
+/// options themselves): resuming with different parallelism is supported
+/// and byte-identical, while resuming into a different campaign is a
+/// deterministic JournalError.
+journal::CampaignIdentity campaign_identity(
+    const TestbedConfig& config,
+    const std::vector<bgp::Configuration>& configs) {
+  std::uint64_t h = util::mix64(0x0CA3'BA16ULL ^ config.seed);
+  h = util::hash_combine(h, config.tier1_count);
+  h = util::hash_combine(h, config.transit_count);
+  h = util::hash_combine(h, config.stub_count);
+  h = hash_double(h, config.transit_extra_providers);
+  h = hash_double(h, config.stub_extra_providers);
+  h = hash_double(h, config.transit_peering_prob);
+  h = hash_double(h, config.stub_tier1_provider_prob);
+  h = hash_double(h, config.provider_attract_bonus);
+  h = hash_double(h, config.provider_position_fraction);
+  h = util::hash_combine(h, config.probe_count);
+  h = util::hash_combine(h, config.traceroute_rounds);
+  h = util::hash_combine(h, config.ixp_count);
+  h = hash_double(h, config.ixp_edge_fraction);
+  h = util::hash_combine(h, (config.measured_catchments ? 1u : 0u) |
+                                (config.audit_policies ? 2u : 0u) |
+                                (config.warm_campaign ? 4u : 0u));
+  const fault::FaultPlan& f = config.faults;
+  h = util::hash_combine(h, f.seed);
+  h = hash_double(h, f.feed_outage_prob);
+  h = hash_double(h, f.feed_stale_prob);
+  h = hash_double(h, f.traceroute_loss_prob);
+  h = hash_double(h, f.traceroute_truncate_prob);
+  h = hash_double(h, f.honeypot_drop_prob);
+  h = hash_double(h, f.honeypot_duplicate_prob);
+  h = hash_double(h, f.deploy_failure_prob);
+  h = util::hash_combine(h, f.deploy_retry_budget);
+  h = hash_double(h, f.degraded_feed_fraction);
+  h = hash_double(h, f.degraded_trace_fraction);
+  for (const bgp::Configuration& c : configs) {
+    h = util::hash_combine(h, journal::config_hash(c));
+  }
+  return {h, configs.size()};
+}
+
 }  // namespace
+
+/// Per-deploy journaling context: the writer, the records recovered on
+/// resume (validated against the re-derived plan), their loaded partial
+/// measurements, and each configuration's warm-chain coordinates.
+struct DeployJournal {
+  DeployJournal(const journal::JournalOptions& options,
+                const journal::CampaignIdentity& identity,
+                const fault::FaultInjector* injector)
+      : writer(options, identity, injector),
+        dir(options.dir),
+        fsync(options.fsync) {}
+
+  journal::JournalWriter writer;
+  std::string dir;
+  bool fsync;
+  std::vector<char> completed;                       // per config index
+  std::vector<journal::ConfigRecord> records;        // valid when completed
+  std::vector<journal::PartialMeasurement> loaded;   // " and not abandoned
+  std::vector<std::uint32_t> chain_of;
+  std::vector<std::uint32_t> chain_pos;
+  std::uint64_t skipped = 0;
+
+  /// Commits configuration i: saves its partial measurement atomically,
+  /// then appends the journal record. No-op for configurations recovered
+  /// from the journal (idempotent resume). Called in ascending config
+  /// order from both deploy schedules, so kill-point barrier ordinals are
+  /// invariant to workers, depth and pipeline mode.
+  void append_config(std::size_t i, const DeploymentResult& result,
+                     const std::vector<char>& abandoned, bool faulty) {
+    if (completed[i]) return;
+    journal::ConfigRecord record;
+    record.config_index = i;
+    record.config_hash = journal::config_hash(result.configs[i]);
+    record.chain = chain_of[i];
+    record.chain_pos = chain_pos[i];
+    if (faulty) {
+      const fault::ConfigQuality& quality = result.quality[i];
+      record.grade = quality.grade;
+      record.deploy_attempts = quality.deploy_attempts;
+      record.feed_entries = quality.feed_entries;
+      record.feed_faults = quality.feed_faults;
+      record.traces = quality.traces;
+      record.trace_faults = quality.trace_faults;
+    }
+    if (!abandoned[i]) {
+      journal::PartialMeasurement partial;
+      partial.inference = result.measured[i];
+      partial.feed_entries = record.feed_entries;
+      partial.feed_faults = record.feed_faults;
+      partial.traces = record.traces;
+      partial.trace_faults = record.trace_faults;
+      record.row_digest = journal::save_partial(dir, i, partial, fsync);
+    }
+    writer.append(record);
+  }
+};
 
 DeploymentResult PeeringTestbed::deploy(
     std::vector<bgp::Configuration> configs) const {
@@ -177,8 +286,14 @@ DeploymentResult PeeringTestbed::deploy(
   DeploymentResult result;
   result.configs = std::move(configs);
   const std::size_t n = result.configs.size();
-  const std::size_t as_count = topo_.graph.size();
   OBS_COUNT("deploy.configs", n);
+
+  const bool journaling = !config_.journal.dir.empty();
+  if (journaling && !config_.measured_catchments) {
+    throw std::invalid_argument(
+        "journaling requires measured catchments: ground-truth deployments "
+        "have no per-configuration measurement to checkpoint");
+  }
 
   result.truth.resize(n);
   result.engine_rounds.assign(n, 0);
@@ -200,6 +315,9 @@ DeploymentResult PeeringTestbed::deploy(
       std::uint64_t failures = 0;
       std::uint64_t retries = 0;
       std::uint64_t gave_up = 0;
+      std::uint64_t backoff_steps = 0;
+      std::uint64_t backoff_ms = 0;
+      const fault::FaultPlan& fault_plan = injector_.plan();
       for (std::size_t i = 0; i < n; ++i) {
         std::uint32_t failed_attempts = 0;
         while (failed_attempts < max_attempts &&
@@ -208,6 +326,26 @@ DeploymentResult PeeringTestbed::deploy(
           ++failed_attempts;
         }
         failures += failed_attempts;
+        // Retry pacing (docs/faults.md): each failed attempt k waits
+        // min(cap, base << (k-1)) ms of simulated time, equal-jitter
+        // (half fixed, half a seeded uniform draw). The clock never
+        // sleeps — the schedule feeds the campaign wall-clock model and
+        // the deploy.retry.backoff_* metrics, deterministically.
+        for (std::uint32_t k = 1; k <= failed_attempts; ++k) {
+          const std::uint64_t raw = std::min<std::uint64_t>(
+              fault_plan.deploy_backoff_cap_ms,
+              std::uint64_t{fault_plan.deploy_backoff_base_ms}
+                  << std::min<std::uint32_t>(k - 1, 32));
+          const std::uint64_t half = raw / 2;
+          const std::uint64_t jitter =
+              half == 0
+                  ? 0
+                  : injector_.mix(fault::Site::kDeployFailure, i,
+                                  0xB0FF'0000ULL + k) %
+                        (half + 1);
+          backoff_ms += half + jitter;
+          ++backoff_steps;
+        }
         if (failed_attempts == max_attempts) {
           abandoned[i] = 1;
           ++gave_up;
@@ -227,6 +365,80 @@ DeploymentResult PeeringTestbed::deploy(
       OBS_COUNT("fault.deploy.failures", failures);
       OBS_COUNT("fault.deploy.retries", retries);
       OBS_COUNT("fault.deploy.gave_up", gave_up);
+      OBS_COUNT("deploy.retry.backoff_steps", backoff_steps);
+      OBS_COUNT("deploy.retry.backoff_ms", backoff_ms);
+    }
+  }
+
+  // Journal setup. A fresh journal just starts segment 0; a resume replays
+  // the directory, cross-checks every recovered record against the
+  // re-derived plan (config hashes, abandonment, attempt counts — all
+  // stateless re-derivations), and loads the digest-verified partial
+  // measurement of every committed configuration. Any disagreement is a
+  // JournalError, never a silently different campaign.
+  std::unique_ptr<DeployJournal> journal;
+  if (journaling) {
+    journal = std::make_unique<DeployJournal>(
+        config_.journal, campaign_identity(config_, result.configs),
+        &injector_);
+    journal->completed.assign(n, 0);
+    journal->records.resize(n);
+    journal->loaded.resize(n);
+    for (const journal::ConfigRecord& record : journal->writer.recovered()) {
+      const std::size_t i = record.config_index;  // < n (scan-validated)
+      const bgp::Configuration& config = result.configs[i];
+      if (record.config_hash != journal::config_hash(config)) {
+        throw journal::JournalError(
+            "journal record does not match configuration '" + config.label +
+            "'");
+      }
+      const std::uint32_t expect_attempts =
+          faulty ? result.quality[i].deploy_attempts : 1;
+      if (record.abandoned() != (abandoned[i] != 0) ||
+          record.deploy_attempts != expect_attempts) {
+        throw journal::JournalError(
+            "journal record disagrees with the re-derived deploy schedule "
+            "for configuration '" +
+            config.label + "'");
+      }
+      if (!record.abandoned()) {
+        journal->loaded[i] =
+            journal::load_partial(journal->dir, i, record.row_digest);
+        if (journal->loaded[i].feed_entries != record.feed_entries ||
+            journal->loaded[i].feed_faults != record.feed_faults ||
+            journal->loaded[i].traces != record.traces ||
+            journal->loaded[i].trace_faults != record.trace_faults) {
+          throw journal::JournalError(
+              "partial artifact quality counts disagree with the journal "
+              "record for configuration '" +
+              config.label + "'");
+        }
+      }
+      journal->records[i] = record;
+      journal->completed[i] = 1;
+      ++journal->skipped;
+    }
+    result.resumed_configs = journal->skipped;
+    if (config_.journal.resume) {
+      OBS_COUNT("deploy.resume.runs", 1);
+      OBS_COUNT("deploy.resume.skipped_configs", journal->skipped);
+    }
+
+    // Warm-chain coordinates for the records (recovery-runbook metadata:
+    // which chain, and how deep, each configuration committed from). The
+    // plan is pure — same partitioning both deploy schedules use.
+    CampaignRunnerOptions runner;
+    runner.warm_start = config_.warm_campaign;
+    const CampaignPlan plan = plan_campaign(result.configs, runner);
+    journal->chain_of.assign(n, 0);
+    journal->chain_pos.assign(n, 0);
+    for (std::size_t c = 0; c < plan.chains(); ++c) {
+      for (std::size_t pos = 0; pos < plan.chain_steps[c].size(); ++pos) {
+        for (const std::size_t idx : plan.fanout[plan.chain_steps[c][pos]]) {
+          journal->chain_of[idx] = static_cast<std::uint32_t>(c);
+          journal->chain_pos[idx] = static_cast<std::uint32_t>(pos);
+        }
+      }
     }
   }
 
@@ -236,9 +448,9 @@ DeploymentResult PeeringTestbed::deploy(
   const bool streaming = config_.pipeline != PipelineMode::kOff &&
                          config_.measured_catchments && n > 1;
   if (streaming) {
-    deploy_pipelined(result, abandoned, faulty);
+    deploy_pipelined(result, abandoned, faulty, journal.get());
   } else {
-    deploy_barrier(result, abandoned, faulty);
+    deploy_barrier(result, abandoned, faulty, journal.get());
   }
 
   if (faulty) {
@@ -256,9 +468,25 @@ DeploymentResult PeeringTestbed::deploy(
 
 void PeeringTestbed::deploy_barrier(DeploymentResult& result,
                                     const std::vector<char>& abandoned,
-                                    bool faulty) const {
+                                    bool faulty,
+                                    DeployJournal* journal) const {
   const std::size_t n = result.configs.size();
   const std::size_t as_count = topo_.graph.size();
+
+  // Configurations that need no measurement: abandoned ones, plus — on a
+  // journal resume — configurations whose committed measurement will be
+  // spliced back in from their partial artifact. Propagation still runs
+  // for all of them (it re-seeds the warm chains bit-identically and
+  // rebuilds truth/compliance/distances, which the journal does not store).
+  const std::vector<char>* skip = &abandoned;
+  std::vector<char> skip_storage;
+  if (journal != nullptr && journal->skipped > 0) {
+    skip_storage = abandoned;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (journal->completed[i]) skip_storage[i] = 1;
+    }
+    skip = &skip_storage;
+  }
 
   // Propagation runs through the campaign runner: memoized, ordered by
   // seed similarity, warm-started along per-worker chains (cold per-config
@@ -322,7 +550,7 @@ void PeeringTestbed::deploy_barrier(DeploymentResult& result,
           audit_compliance(engine_, origin_, config, outcome);
     }
 
-    if (config_.measured_catchments && !abandoned[i]) {
+    if (config_.measured_catchments && !(*skip)[i]) {
       auto& snap = chain_snapshot[chain];
       if (!snap.valid || snap.announcements != config.announcements) {
         snap.valid = true;
@@ -369,10 +597,9 @@ void PeeringTestbed::deploy_barrier(DeploymentResult& result,
                                             probes_, origin_id_,
                                             driver_options);
     std::vector<fault::ConfigQuality> measured_quality;
-    const bool any_abandoned =
-        std::find(abandoned.begin(), abandoned.end(), char{1}) !=
-        abandoned.end();
-    if (!any_abandoned) {
+    const bool any_skip =
+        std::find(skip->begin(), skip->end(), char{1}) != skip->end();
+    if (!any_skip) {
       result.measured = driver.run(tasks, faulty ? &measured_quality : nullptr);
       for (std::size_t i = 0; faulty && i < n; ++i) {
         merge_quality(result.quality[i], measured_quality[i], config_.faults);
@@ -386,11 +613,11 @@ void PeeringTestbed::deploy_barrier(DeploymentResult& result,
       live.reserve(n);
       live_idx.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        if (abandoned[i]) continue;
+        if ((*skip)[i]) continue;
         live.push_back(std::move(tasks[i]));
         live_idx.push_back(i);
       }
-      auto live_results = driver.run(live, &measured_quality);
+      auto live_results = driver.run(live, faulty ? &measured_quality : nullptr);
       // Abandoned configurations get a sized-but-empty inference: nothing
       // observed, every catchment missing, so build_matrix leaves their
       // rows all-missing and imputation cannot resurrect them.
@@ -400,10 +627,29 @@ void PeeringTestbed::deploy_barrier(DeploymentResult& result,
       for (std::size_t i = 0; i < n; ++i) {
         if (abandoned[i]) result.measured[i] = missing;
       }
+      // Journal-committed configurations splice their recorded measurement
+      // (and quality counts) back in instead of re-measuring.
+      if (journal != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!journal->completed[i] || abandoned[i]) continue;
+          result.measured[i] = std::move(journal->loaded[i].inference);
+          if (faulty) {
+            fault::ConfigQuality measured;
+            const journal::ConfigRecord& record = journal->records[i];
+            measured.feed_entries = record.feed_entries;
+            measured.feed_faults = record.feed_faults;
+            measured.traces = record.traces;
+            measured.trace_faults = record.trace_faults;
+            merge_quality(result.quality[i], measured, config_.faults);
+          }
+        }
+      }
       for (std::size_t k = 0; k < live_idx.size(); ++k) {
         result.measured[live_idx[k]] = std::move(live_results[k]);
-        merge_quality(result.quality[live_idx[k]], measured_quality[k],
-                      config_.faults);
+        if (faulty) {
+          merge_quality(result.quality[live_idx[k]], measured_quality[k],
+                        config_.faults);
+        }
       }
     }
   }
@@ -447,14 +693,37 @@ void PeeringTestbed::deploy_barrier(DeploymentResult& result,
     }
     OBS_GAUGE("analysis.matrix_bytes", result.matrix.size_bytes());
   }
+
+  // Commit every newly measured configuration to the journal, ascending —
+  // the same order the pipelined schedule's serialized commit stage uses,
+  // so kill-point barrier ordinals are mode-invariant.
+  if (journal != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      journal->append_config(i, result, abandoned, faulty);
+    }
+  }
 }
 
 void PeeringTestbed::deploy_pipelined(DeploymentResult& result,
                                       const std::vector<char>& abandoned,
-                                      bool faulty) const {
+                                      bool faulty,
+                                      DeployJournal* journal) const {
   OBS_COUNT("deploy.pipelined_runs", 1);
   const std::size_t n = result.configs.size();
   const std::size_t as_count = topo_.graph.size();
+
+  // As in barrier mode: skip the measurement (work stage) of abandoned and
+  // journal-committed configurations; propagation and commits still cover
+  // every index, so chain state and commit order are unchanged.
+  const std::vector<char>* skip = &abandoned;
+  std::vector<char> skip_storage;
+  if (journal != nullptr && journal->skipped > 0) {
+    skip_storage = abandoned;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (journal->completed[i]) skip_storage[i] = 1;
+    }
+    skip = &skip_storage;
+  }
 
   // Same plan as the barrier path: chain partitioning depends only on the
   // runner options and the unique-config count, never on the executor, so
@@ -605,7 +874,7 @@ void PeeringTestbed::deploy_pipelined(DeploymentResult& result,
         result.compliance[idx] =
             audit_compliance(engine_, origin_, config, *outcome);
       }
-      live += abandoned[idx] ? 0u : 1u;
+      live += (*skip)[idx] ? 0u : 1u;
     }
 
     if (live > 0) {
@@ -621,7 +890,7 @@ void PeeringTestbed::deploy_pipelined(DeploymentResult& result,
   };
 
   stages.work = [&](std::size_t i, std::size_t worker) {
-    if (abandoned[i]) return;
+    if ((*skip)[i]) return;
     Handoff& handoff = handoffs[slot_of[i]];
     std::call_once(handoff.once, [&] {
       handoff.buffers = pool.acquire();
@@ -654,11 +923,26 @@ void PeeringTestbed::deploy_pipelined(DeploymentResult& result,
   };
 
   stages.commit = [&](std::size_t i) {
+    const bool from_journal =
+        journal != nullptr && journal->completed[i] && !abandoned[i];
     if (abandoned[i]) {
       // Sized-but-empty inference: nothing observed, row stays all-missing.
       result.measured[i] = missing;
     } else {
-      if (faulty) {
+      if (from_journal) {
+        // Splice the journaled measurement (and its recorded quality
+        // counts); the work stage never ran for this index.
+        result.measured[i] = std::move(journal->loaded[i].inference);
+        if (faulty) {
+          fault::ConfigQuality measured;
+          const journal::ConfigRecord& record = journal->records[i];
+          measured.feed_entries = record.feed_entries;
+          measured.feed_faults = record.feed_faults;
+          measured.traces = record.traces;
+          measured.trace_faults = record.trace_faults;
+          merge_quality(result.quality[i], measured, config_.faults);
+        }
+      } else if (faulty) {
         merge_quality(result.quality[i], measured_quality[i], config_.faults);
       }
       const measure::InferenceResult& inferred = result.measured[i];
@@ -676,6 +960,9 @@ void PeeringTestbed::deploy_pipelined(DeploymentResult& result,
     }
     multi += result.measured[i].multi_catchment_fraction;
     coverage += static_cast<double>(result.measured[i].covered_count);
+    if (journal != nullptr) {
+      journal->append_config(i, result, abandoned, faulty);
+    }
   };
 
   pipeline::run_graph(graph, stages, exec);

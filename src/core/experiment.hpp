@@ -19,6 +19,7 @@
 #include "core/config_gen.hpp"
 #include "core/policy_audit.hpp"
 #include "fault/fault.hpp"
+#include "journal/journal.hpp"
 #include "measure/address_plan.hpp"
 #include "measure/driver.hpp"
 #include "measure/feed.hpp"
@@ -31,6 +32,10 @@
 #include "topology/synth.hpp"
 
 namespace spooftrack::core {
+
+/// Per-deploy journaling context (journal writer, recovered records,
+/// chain coordinates); defined in experiment.cpp.
+struct DeployJournal;
 
 /// How PeeringTestbed::deploy schedules propagation, measurement and
 /// analysis (docs/architecture.md, "Pipelined execution"):
@@ -96,6 +101,18 @@ struct TestbedConfig {
   /// every other component seed.
   fault::FaultPlan faults;
 
+  /// Crash-consistent campaign journal (docs/checkpointing.md). An empty
+  /// dir disables journaling entirely. With a dir set, deploy() commits a
+  /// checksummed record (and a digest-verified partial artifact) per
+  /// configuration as its measurement completes; with journal.resume it
+  /// first replays the journal, skips committed configurations, and splices
+  /// their recorded measurements back in — byte-identical to an
+  /// uninterrupted run for any worker count, pipeline mode and depth.
+  /// Requires measured_catchments (ground-truth deployments have no
+  /// per-configuration measurement to checkpoint; deploy() throws
+  /// std::invalid_argument).
+  journal::JournalOptions journal;
+
   std::uint32_t probe_count = 1200;      // RIPE Atlas probes (distinct ASes)
   std::uint32_t traceroute_rounds = 3;   // rounds per configuration (§IV-b)
   std::uint32_t ixp_count = 12;
@@ -150,6 +167,9 @@ struct DeploymentResult {
   double mean_multi_catchment = 0.0;
   /// Mean number of ASes covered by measurements per configuration.
   double mean_coverage = 0.0;
+  /// Configurations whose measurement was skipped because a resumed journal
+  /// had already committed them (0 unless TestbedConfig::journal.resume).
+  std::uint64_t resumed_configs = 0;
   /// Per-configuration measurement quality (empty when the fault plan has
   /// every probability at zero). A kFailed entry means deployment was
   /// abandoned after exhausting the retry budget: its `measured` slot is a
@@ -196,11 +216,13 @@ class PeeringTestbed {
  private:
   /// Barrier schedule: propagate everything, measure everything, analyse.
   void deploy_barrier(DeploymentResult& result,
-                      const std::vector<char>& abandoned, bool faulty) const;
+                      const std::vector<char>& abandoned, bool faulty,
+                      DeployJournal* journal) const;
   /// Streaming schedule: pipeline executor overlapping propagation,
   /// measurement and analysis commits. Byte-identical to deploy_barrier.
   void deploy_pipelined(DeploymentResult& result,
-                        const std::vector<char>& abandoned, bool faulty) const;
+                        const std::vector<char>& abandoned, bool faulty,
+                        DeployJournal* journal) const;
 
   TestbedConfig config_;
   topology::SynthTopology topo_;

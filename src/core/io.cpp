@@ -1,60 +1,88 @@
 #include "core/io.hpp"
 
 #include <fstream>
-#include <type_traits>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <type_traits>
+
+#include "util/crc32c.hpp"
+#include "util/fsio.hpp"
 
 namespace spooftrack::core {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x53504F4F'46415254ULL;  // "SPOOFART"
-constexpr std::uint32_t kVersion = 1;
+// v2: every byte after the magic is covered by a CRC32C trailer, so a
+// truncated or bit-flipped artifact is rejected deterministically instead
+// of deserializing into garbage.
+constexpr std::uint32_t kVersion = 2;
 
 // ---- primitive writers/readers (little-endian native; the artifact is a
-// local cache format, not a wire format) ----------------------------------
+// local cache format, not a wire format). Both sides thread a running
+// CRC32C over the payload; save appends it as a trailer and load verifies
+// it after the last field. ------------------------------------------------
+
+struct Writer {
+  std::ostream& out;
+  std::uint32_t crc = util::crc32c_init();
+
+  void write(const char* data, std::size_t size) {
+    crc = util::crc32c_update(crc, data, size);
+    out.write(data, static_cast<std::streamsize>(size));
+  }
+};
+
+struct Reader {
+  std::istream& in;
+  std::uint32_t crc = util::crc32c_init();
+
+  void read(char* data, std::size_t size) {
+    in.read(data, static_cast<std::streamsize>(size));
+    if (!in) throw std::runtime_error("artifact truncated");
+    crc = util::crc32c_update(crc, data, size);
+  }
+};
 
 template <typename T>
-void put(std::ostream& out, const T& value) {
+void put(Writer& out, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
 template <typename T>
-T get(std::istream& in) {
+T get(Reader& in) {
   static_assert(std::is_trivially_copyable_v<T>);
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  if (!in) throw std::runtime_error("artifact truncated");
   return value;
 }
 
-void put_string(std::ostream& out, const std::string& text) {
+void put_string(Writer& out, const std::string& text) {
   put<std::uint64_t>(out, text.size());
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.write(text.data(), text.size());
 }
 
-std::string get_string(std::istream& in) {
+std::string get_string(Reader& in) {
   const auto size = get<std::uint64_t>(in);
-  if (size > (std::uint64_t{1} << 30)) {
+  if (size > (std::uint64_t{1} << 20)) {
     throw std::runtime_error("artifact string too large");
   }
   std::string text(size, '\0');
-  in.read(text.data(), static_cast<std::streamsize>(size));
-  if (!in) throw std::runtime_error("artifact truncated");
+  in.read(text.data(), size);
   return text;
 }
 
 template <typename T>
-void put_pod_vector(std::ostream& out, const std::vector<T>& items) {
+void put_pod_vector(Writer& out, const std::vector<T>& items) {
   put<std::uint64_t>(out, items.size());
   for (const T& item : items) put(out, item);
 }
 
 template <typename T>
-std::vector<T> get_pod_vector(std::istream& in, std::uint64_t cap) {
+std::vector<T> get_pod_vector(Reader& in, std::uint64_t cap) {
   const auto size = get<std::uint64_t>(in);
   if (size > cap) throw std::runtime_error("artifact vector too large");
   std::vector<T> items(size);
@@ -64,14 +92,14 @@ std::vector<T> get_pod_vector(std::istream& in, std::uint64_t cap) {
 
 constexpr std::uint64_t kSaneCap = 1u << 26;  // 64M elements
 
-void put_spec(std::ostream& out, const bgp::AnnouncementSpec& spec) {
+void put_spec(Writer& out, const bgp::AnnouncementSpec& spec) {
   put(out, spec.link);
   put(out, spec.prepend);
   put_pod_vector(out, spec.poisoned);
   put_pod_vector(out, spec.no_export_to);
 }
 
-bgp::AnnouncementSpec get_spec(std::istream& in) {
+bgp::AnnouncementSpec get_spec(Reader& in) {
   bgp::AnnouncementSpec spec;
   spec.link = get<bgp::LinkId>(in);
   spec.prepend = get<std::uint32_t>(in);
@@ -121,7 +149,8 @@ DeploymentArtifact make_artifact(const DeploymentResult& result,
   return artifact;
 }
 
-void save_artifact(const DeploymentArtifact& artifact, std::ostream& out) {
+void save_artifact(const DeploymentArtifact& artifact, std::ostream& stream) {
+  Writer out{stream};
   put(out, kMagic);
   put(out, kVersion);
   put(out, artifact.seed);
@@ -158,11 +187,16 @@ void save_artifact(const DeploymentArtifact& artifact, std::ostream& out) {
   put<std::uint64_t>(out, artifact.matrix.size());
   put<std::uint64_t>(out, artifact.matrix.sources());
   out.write(reinterpret_cast<const char*>(artifact.matrix.data()),
-            static_cast<std::streamsize>(artifact.matrix.size_bytes()));
-  if (!out) throw std::runtime_error("artifact write failed");
+            artifact.matrix.size_bytes());
+
+  // Trailer: CRC32C over everything above, written raw (not self-covering).
+  const std::uint32_t crc = util::crc32c_final(out.crc);
+  stream.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!stream) throw std::runtime_error("artifact write failed");
 }
 
-DeploymentArtifact load_artifact(std::istream& in) {
+DeploymentArtifact load_artifact(std::istream& stream) {
+  Reader in{stream};
   if (get<std::uint64_t>(in) != kMagic) {
     throw std::runtime_error("not a spooftrack artifact");
   }
@@ -225,8 +259,7 @@ DeploymentArtifact load_artifact(std::istream& in) {
   }
   artifact.matrix.assign(rows, cols);
   in.read(reinterpret_cast<char*>(artifact.matrix.data()),
-          static_cast<std::streamsize>(artifact.matrix.size_bytes()));
-  if (!in) throw std::runtime_error("artifact truncated");
+          artifact.matrix.size_bytes());
   for (std::size_t c = 0; c < artifact.matrix.size(); ++c) {
     for (std::uint8_t cell : artifact.matrix.row(c)) {
       if (cell != bgp::kNoCatchment8 && cell >= bgp::kMaxCatchmentLinks) {
@@ -234,14 +267,24 @@ DeploymentArtifact load_artifact(std::istream& in) {
       }
     }
   }
+
+  const std::uint32_t expect = util::crc32c_final(in.crc);
+  std::uint32_t crc = 0;
+  stream.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!stream) throw std::runtime_error("artifact truncated");
+  if (crc != expect) {
+    throw std::runtime_error("artifact checksum mismatch");
+  }
   return artifact;
 }
 
 void save_artifact_file(const DeploymentArtifact& artifact,
                         const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  // Atomic: serialize, temp-write, fsync, rename, directory fsync — a crash
+  // mid-save can never leave a torn artifact under the final name.
+  std::ostringstream out(std::ios::binary);
   save_artifact(artifact, out);
+  util::atomic_write_file(path, out.view());
 }
 
 DeploymentArtifact load_artifact_file(const std::string& path) {

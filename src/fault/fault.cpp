@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace spooftrack::fault {
@@ -20,6 +21,14 @@ std::string_view site_name(Site site) noexcept {
       return "honeypot_duplicate";
     case Site::kDeployFailure:
       return "deploy_failure";
+    case Site::kJournalPreWrite:
+      return "journal_pre_write";
+    case Site::kJournalMidRecord:
+      return "journal_mid_record";
+    case Site::kJournalPreRename:
+      return "journal_pre_rename";
+    case Site::kJournalPreFsync:
+      return "journal_pre_fsync";
   }
   return "unknown";
 }
@@ -58,6 +67,12 @@ double FaultInjector::site_prob(Site site) const noexcept {
       return plan_.honeypot_duplicate_prob;
     case Site::kDeployFailure:
       return plan_.deploy_failure_prob;
+    case Site::kJournalPreWrite:
+    case Site::kJournalMidRecord:
+    case Site::kJournalPreRename:
+    case Site::kJournalPreFsync:
+      // Kill-points are ordinal-triggered (crashes()), never probabilistic.
+      return 0.0;
   }
   return 0.0;
 }
@@ -90,6 +105,18 @@ std::uint64_t FaultInjector::mix(Site site, std::uint64_t a,
       plan_.seed ^ 0x5EC0DDA57ULL,
       util::hash_combine(static_cast<std::uint64_t>(site),
                          util::hash_combine(a, b))));
+}
+
+SimulatedCrash::SimulatedCrash(Site site, std::uint64_t ordinal)
+    : std::runtime_error("simulated crash at " + std::string(site_name(site)) +
+                         " barrier #" + std::to_string(ordinal)),
+      site_(site),
+      ordinal_(ordinal) {}
+
+void FaultInjector::check_crash(Site site, std::uint64_t ordinal) const {
+  if (!crashes(site, ordinal)) return;
+  OBS_COUNT("fault.crash.triggered", 1);
+  throw SimulatedCrash(site, ordinal);
 }
 
 std::string_view grade_name(Grade grade) noexcept {

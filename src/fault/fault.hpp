@@ -30,13 +30,17 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 namespace spooftrack::fault {
 
 /// Injection sites. Values are part of the seed-derivation contract
 /// (docs/faults.md): a draw hashes (seed, site value, a, b), so renumbering
-/// reshuffles every fault schedule.
+/// reshuffles every fault schedule. The kJournal* sites are kill-points —
+/// deterministic crash barriers inside the campaign journal
+/// (docs/checkpointing.md), triggered by ordinal rather than probability.
 enum class Site : std::uint64_t {
   kFeedOutage = 1,          // collector misses a peer's export entirely
   kFeedStale = 2,           // collector snapshot predates the announcement
@@ -45,6 +49,10 @@ enum class Site : std::uint64_t {
   kHoneypotDrop = 5,        // capture pipeline loses a packet
   kHoneypotDuplicate = 6,   // capture merge delivers a packet twice
   kDeployFailure = 7,       // configuration deployment attempt fails
+  kJournalPreWrite = 8,     // before any byte of a journal record
+  kJournalMidRecord = 9,    // after half a record's frame (torn write)
+  kJournalPreRename = 10,   // segment sealed+fsynced, before the rename
+  kJournalPreFsync = 11,    // segment renamed, before the directory fsync
 };
 
 std::string_view site_name(Site site) noexcept;
@@ -78,14 +86,38 @@ struct FaultPlan {
   /// measurement, matrix row all-missing).
   std::uint32_t deploy_retry_budget = 2;
 
+  /// Retry pacing: attempt k (k = 1 after the first failure) waits
+  /// min(cap, base << (k - 1)) milliseconds of *simulated* time, halved and
+  /// topped up with a seeded jitter draw ("equal jitter"). The clock is
+  /// simulated — deploys never sleep — but the schedule is part of the
+  /// deterministic contract: `deploy.retry.backoff_steps` /
+  /// `deploy.retry.backoff_ms` count it, and the campaign wall-clock model
+  /// consumes it when planning real PEERING runs.
+  std::uint32_t deploy_backoff_base_ms = 250;
+  std::uint32_t deploy_backoff_cap_ms = 8000;
+
+  /// Deterministic kill-point (docs/checkpointing.md): the crash_at-th time
+  /// the journal passes `crash_site`'s barrier, a SimulatedCrash is thrown.
+  /// 0 disables crashes. Ordinals are 1-based and counted per site by the
+  /// journal writer, whose barriers run in globally-serialized commit
+  /// order, so a kill-point fires at the same logical instant for any
+  /// worker count or pipeline depth.
+  Site crash_site = Site::kJournalPreWrite;
+  std::uint64_t crash_at = 0;
+
   /// Grade thresholds: a config is kDegraded when the faulted fraction of
   /// its feed entries or traceroutes exceeds these, or when deployment
   /// needed a retry.
   double degraded_feed_fraction = 0.05;
   double degraded_trace_fraction = 0.05;
 
-  /// Any injection probability nonzero?
+  /// Any injection probability nonzero? (Kill-points do not count: a
+  /// crash-only plan must not switch the measurement plane into its
+  /// fault-accounting mode, or a zero-rate crash plan would no longer be
+  /// bit-identical to a fault-free run.)
   bool any() const noexcept;
+  /// Kill-point armed?
+  bool any_crash() const noexcept { return crash_at > 0; }
   bool any_feed() const noexcept {
     return feed_outage_prob > 0.0 || feed_stale_prob > 0.0;
   }
@@ -127,11 +159,39 @@ class FaultInjector {
   std::uint64_t mix(Site site, std::uint64_t a,
                     std::uint64_t b) const noexcept;
 
+  /// Whether the plan's kill-point fires at this barrier crossing: true iff
+  /// crash_at != 0, site == crash_site and ordinal == crash_at. The caller
+  /// supplies the 1-based per-site ordinal, keeping the injector stateless.
+  bool crashes(Site site, std::uint64_t ordinal) const noexcept {
+    return plan_.crash_at != 0 && site == plan_.crash_site &&
+           ordinal == plan_.crash_at;
+  }
+
+  /// Throws SimulatedCrash when crashes(site, ordinal).
+  void check_crash(Site site, std::uint64_t ordinal) const;
+
  private:
   double site_prob(Site site) const noexcept;
 
   FaultPlan plan_{};
   bool enabled_ = false;
+};
+
+/// Thrown by FaultInjector::check_crash at an armed kill-point. Models an
+/// operator restart / power loss at a journal barrier: the process state is
+/// lost, the on-disk journal is whatever the barriers before the crash made
+/// durable. The recovery harness (tests/test_journal.cpp) catches it,
+/// reopens the journal and pins that the resumed run is byte-identical.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  SimulatedCrash(Site site, std::uint64_t ordinal);
+
+  Site site() const noexcept { return site_; }
+  std::uint64_t ordinal() const noexcept { return ordinal_; }
+
+ private:
+  Site site_;
+  std::uint64_t ordinal_;
 };
 
 /// Per-configuration measurement quality grade (docs/faults.md).

@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli) — the checksum framing the campaign journal and the
+// artifact trailer (docs/checkpointing.md).
+//
+// Chosen over the RFC 1071 Internet checksum (netcore/checksum.hpp) because
+// torn-write detection needs real error detection: CRC32C catches all
+// single-byte corruptions and all burst errors up to 32 bits, which is what
+// the journal's recovery scan relies on to distinguish a torn tail from a
+// valid record. Software slicing-by-8 implementation; no hardware intrinsic
+// dependence, identical output on every platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace spooftrack::util {
+
+/// Incremental CRC32C: feed `crc32c_update` an evolving crc (start from
+/// crc32c_init()) and finish with crc32c_final(). One-shot: crc32c(data).
+std::uint32_t crc32c_init() noexcept;
+std::uint32_t crc32c_update(std::uint32_t crc, const void* data,
+                            std::size_t size) noexcept;
+std::uint32_t crc32c_final(std::uint32_t crc) noexcept;
+
+/// One-shot CRC32C of a buffer.
+std::uint32_t crc32c(const void* data, std::size_t size) noexcept;
+inline std::uint32_t crc32c(std::string_view bytes) noexcept {
+  return crc32c(bytes.data(), bytes.size());
+}
+
+}  // namespace spooftrack::util

@@ -76,6 +76,31 @@ TEST(ArtifactIo, RejectsTruncation) {
   }
 }
 
+TEST(ArtifactIo, FuzzEveryTruncationAndByteFlip) {
+  // v2's CRC32C trailer makes corruption detection exhaustive, so the test
+  // can be too: every prefix truncation and every single-byte flip of a
+  // serialized artifact must throw — never crash, never deserialize quietly
+  // into garbage.
+  const auto original = sample_artifact();
+  std::stringstream buffer;
+  save_artifact(original, buffer);
+  const std::string full = buffer.str();
+  ASSERT_GT(full.size(), 4u);
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream chopped(full.substr(0, cut));
+    EXPECT_THROW(load_artifact(chopped), std::runtime_error)
+        << "truncated at " << cut;
+  }
+  for (std::size_t at = 0; at < full.size(); ++at) {
+    std::string flipped = full;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x01);
+    std::stringstream corrupted(flipped);
+    EXPECT_THROW(load_artifact(corrupted), std::runtime_error)
+        << "flipped byte " << at;
+  }
+}
+
 TEST(ArtifactIo, RejectsWrongVersion) {
   const auto original = sample_artifact();
   std::stringstream buffer;

@@ -29,6 +29,7 @@
 #include "core/prediction.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "journal/journal.hpp"
 #include "obs/report.hpp"
 #include "topology/caida_io.hpp"
 #include "topology/metrics.hpp"
@@ -252,11 +253,33 @@ int cmd_deploy(const std::vector<std::string>& args) {
   flags.define("out", "artifact output path", "deployment.artifact")
       .define("max-removals", "location phase: max withdrawn links", "3")
       .define("max-poison", "poisoning phase cap", "347")
-      .define_switch("audit", "collect Figure 9 compliance statistics");
+      .define_switch("audit", "collect Figure 9 compliance statistics")
+      .define("journal",
+              "crash-consistent campaign journal directory "
+              "(docs/checkpointing.md)", "")
+      .define("resume",
+              "resume a journaled campaign from DIR: replay the journal, "
+              "skip committed configurations (implies --journal=DIR)", "")
+      .define("journal-segment-records",
+              "journal records per segment before rotation", "128");
   if (int rc = run_with_help(flags, args, "deploy"); rc >= 0) return rc;
 
   core::TestbedConfig config = testbed_config(flags);
   config.audit_policies = flags.get_switch("audit");
+  const std::string journal_dir = flags.get("journal");
+  const std::string resume_dir = flags.get("resume");
+  if (!resume_dir.empty()) {
+    if (!journal_dir.empty() && journal_dir != resume_dir) {
+      throw std::invalid_argument(
+          "--journal and --resume must name the same directory");
+    }
+    config.journal.dir = resume_dir;
+    config.journal.resume = true;
+  } else {
+    config.journal.dir = journal_dir;
+  }
+  config.journal.segment_records = static_cast<std::size_t>(
+      flags.get_u64("journal-segment-records").value_or(128));
   const core::PeeringTestbed testbed(config);
 
   core::GeneratorOptions gen;
@@ -276,9 +299,13 @@ int cmd_deploy(const std::vector<std::string>& args) {
   std::cerr << "deploying " << plan.size() << " configurations on "
             << testbed.graph().size() << " ASes...\n";
   const auto result = testbed.deploy(std::move(plan));
+  if (result.resumed_configs > 0) {
+    std::cerr << "resume: skipped " << result.resumed_configs
+              << " journaled configurations (docs/checkpointing.md)\n";
+  }
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
   if (!result.quality.empty()) {
-    std::size_t degraded = 0;
-    std::size_t failed = 0;
     for (const fault::ConfigQuality& q : result.quality) {
       degraded += q.grade == fault::Grade::kDegraded;
       failed += q.grade == fault::Grade::kFailed;
@@ -297,6 +324,11 @@ int cmd_deploy(const std::vector<std::string>& args) {
   std::cerr << "sources: " << result.sources.size()
             << ", coverage: " << result.mean_coverage
             << " ASes/config; wrote " << flags.get("out") << "\n";
+  // Exit-code contract (docs/cli.md): the artifact is written either way,
+  // but scripted campaigns branch on measurement quality without parsing
+  // stderr — 4 = abandoned configurations, 3 = degraded quorum.
+  if (failed > 0) return 4;
+  if (degraded > 0) return 3;
   return 0;
 }
 
@@ -578,12 +610,20 @@ int main(int argc, char** argv) {
   int rc;
   try {
     rc = dispatch(command, args);
+  } catch (const journal::JournalError& e) {
+    // Corrupt journal or partial artifact on resume (docs/cli.md exit 5):
+    // distinct from a generic failure so operators can tell "re-run with a
+    // fresh journal" from "fix the invocation".
+    std::cerr << "journal error: " << e.what() << "\n";
+    return 5;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
 
-  if (rc == 0 && !obs_report.empty()) {
+  // Degraded/failed campaigns (3/4) still produced an artifact — their
+  // telemetry is exactly what an operator wants to inspect.
+  if ((rc == 0 || rc == 3 || rc == 4) && !obs_report.empty()) {
     try {
       obs::RunReport::capture("spooftrack-" + command)
           .save_json_file(obs_report);
